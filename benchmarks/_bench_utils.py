@@ -1,0 +1,13 @@
+"""Shared helpers for the benchmark modules."""
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+def emit(result):
+    """Print the reproduced table below the benchmark output."""
+    print()
+    print(result.render())

@@ -1,0 +1,21 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures and
+asserts its *shape* (orderings, rough factors) rather than absolute
+numbers.  By default the quick preset runs (scale 1/64, short windows);
+set ``REPRO_BENCH_FULL=1`` for the paper-shaped preset (scale 1/32,
+60 s warm-up + 10 s measured per cell — slower but smoother numbers).
+"""
+
+import os
+
+import pytest
+
+from repro.harness.context import DEFAULT_SCALE, QUICK_SCALE
+
+
+@pytest.fixture(scope="session")
+def es():
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return DEFAULT_SCALE
+    return QUICK_SCALE

@@ -1,0 +1,28 @@
+"""Bench: Figure 4 — SRC throughput/amplification vs erase group size."""
+
+from repro.harness import exp_fig4
+
+from _bench_utils import emit, run_once
+
+
+def parse(cell):
+    tput, amp = cell.split(" (")
+    return float(tput), float(amp.rstrip(")"))
+
+
+def test_fig4_src_erase_group(benchmark, es):
+    # Sizes are capped at the SSDs' 256 MB erase group: beyond it the
+    # scaled-down cache holds too few segment groups for GC to breathe
+    # (18 GB / 1 GB = 18 groups in the paper; 4 at quick scale), which
+    # is a scale artifact rather than the paper's regime.
+    result = run_once(benchmark, exp_fig4.run, es, sizes=(32, 128, 256))
+    emit(result)
+    for row in result.rows:
+        small_tput, small_amp = parse(row[1])
+        big_tput, big_amp = parse(row[-1])
+        assert small_tput > 0 and big_tput > 0
+        # Paper shape: throughput rises toward the SSD erase group size.
+        assert big_tput >= small_tput * 0.9, \
+            f"{row[0]}: larger erase groups must sustain more"
+        assert small_amp <= big_amp * 1.5, \
+            f"{row[0]}: small units should not inflate amplification"

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Design-space tour: how Table 7's knobs move the needle.
+
+Replays the Mixed trace group against four SRC configurations —
+the paper's default, S2D-only GC, parity-for-clean, and flush-per-
+segment — and prints a side-by-side comparison, a miniature of the
+paper's §5.2 exploration.
+
+Run:  python examples/design_space_tour.py          (~2 min)
+"""
+
+from repro import SrcConfig
+from repro.core.config import CleanRedundancy, FlushPoint, GcScheme
+from repro.harness.context import CACHE_SPACE, ExperimentScale, build_src
+from repro.workloads.replay import replay_group
+
+ES = ExperimentScale(scale=1 / 64, warmup=20.0, duration=6.0)
+
+VARIANTS = [
+    ("paper defaults (Sel-GC, NPC, per-SG flush)", {}),
+    ("S2D-only GC", {"gc_scheme": GcScheme.S2D}),
+    ("parity for clean data (PC)",
+     {"clean_redundancy": CleanRedundancy.PC}),
+    ("flush per segment", {"flush_point": FlushPoint.PER_SEGMENT}),
+]
+
+
+def main() -> None:
+    print(f"{'configuration':<45} {'MB/s':>7} {'amp':>6} {'hit':>5}")
+    print("-" * 66)
+    baseline = None
+    for name, overrides in VARIANTS:
+        config = SrcConfig(cache_space=CACHE_SPACE, **overrides)
+        cache = build_src(ES.scale, config=config)
+        result = replay_group(cache, "mixed", scale=ES.scale,
+                              duration=ES.duration, warmup=ES.warmup,
+                              seed=ES.seed)
+        if baseline is None:
+            baseline = result.throughput_mb_s
+        rel = result.throughput_mb_s / baseline
+        print(f"{name:<45} {result.throughput_mb_s:7.1f} "
+              f"{result.io_amplification:6.2f} {result.hit_ratio:5.2f}"
+              f"   ({rel:4.2f}x)")
+    print("\npaper shapes: Sel-GC > S2D; NPC > PC; per-SG flush > "
+          "per-segment flush")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Extract the reproduced tables from a benchmark tee file.
+
+``pytest benchmarks/ --benchmark-only -s`` prints every reproduced
+table (via the benchmarks' ``emit`` helper) interleaved with pytest
+output.  This script pulls the table blocks back out so they can be
+pasted into EXPERIMENTS.md or compared across runs:
+
+    python scripts/extract_tables.py bench_output.txt
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+# Every emitted table starts with one of these title lines and ends at
+# the first blank line after its separator row.
+TITLES = [
+    "FIO 4KB random write: write-through vs write-back",
+    "Impact of flush command on raw SSD throughput",
+    "Bcache/Flashcache write-back on RAID levels",
+    "Erase group size: throughput (MB/s) vs write unit size",
+    "SRC vs erase group size",
+    "Free space management",
+    "Sel-GC UMAX sweep",
+    "Clean data redundancy: PC vs NPC",
+    "SRC cache RAID level",
+    "flush issue point",
+    "Cost-effectiveness",
+    "SRC vs existing solutions",
+    "SRC design ablations",
+    "Storage device comparison",
+    "SATA and NVMe SSD sets",
+    "Trace characteristics",
+]
+
+
+def extract(text: str) -> "list[str]":
+    blocks = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        if any(line.startswith(title) for title in TITLES):
+            block = [line]
+            i += 1
+            # Capture until a line that is clearly pytest output or two
+            # consecutive blanks.
+            blanks = 0
+            while i < len(lines):
+                nxt = lines[i]
+                if re.match(r"^(=|-{5,} benchmark|PASSED|FAILED|\.|tests/)",
+                            nxt):
+                    break
+                if not nxt.strip():
+                    blanks += 1
+                    if blanks >= 2:
+                        break
+                else:
+                    blanks = 0
+                block.append(nxt)
+                i += 1
+            while block and not block[-1].strip():
+                block.pop()
+            blocks.append("\n".join(block))
+        else:
+            i += 1
+    return blocks
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    with open(sys.argv[1], "r", encoding="utf-8") as handle:
+        for block in extract(handle.read()):
+            print(block)
+            print()
+            print("~" * 70)
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works in offline environments whose
+setuptools lacks the ``wheel`` package required by PEP 660 editable
+installs.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""repro — a simulator-based reproduction of *Enabling Cost-Effective
+Flash based Caching with an Array of Commodity SSDs* (Oh et al.,
+Middleware 2015).
+
+Public API tour
+---------------
+- :class:`repro.core.src.SrcCache` — the paper's SRC cache target.
+- :class:`repro.core.config.SrcConfig` — the Table 7 design space.
+- :class:`repro.ssd.device.SSDDevice` / :class:`repro.ssd.spec.SsdSpec`
+  — the FTL-level commodity-SSD simulator.
+- :class:`repro.hdd.backend.PrimaryStorage` — the iSCSI RAID-10 backend.
+- :mod:`repro.raid.array` — software RAID-0/1/4/5 over block devices.
+- :mod:`repro.baselines` — Bcache and Flashcache behavioural models.
+- :mod:`repro.workloads` — FIO generators, Table 6 synthetic traces,
+  and the closed-loop trace replayer.
+- :mod:`repro.harness` — one module per reproduced table/figure.
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.baselines.bcache import BcacheDevice
+from repro.baselines.common import WritePolicy
+from repro.baselines.flashcache import FlashcacheDevice
+from repro.baselines.writeboost import WriteboostDevice
+from repro.core.config import (CleanRedundancy, FlushPoint, GcScheme,
+                               SrcConfig, VictimPolicy)
+from repro.core.recovery import recover
+from repro.core.src import SrcCache
+from repro.hdd.backend import PrimaryStorage
+from repro.raid.array import (Raid0Device, Raid1Device, Raid4Device,
+                              Raid5Device, make_raid)
+from repro.ssd.device import SSDDevice, precondition
+from repro.ssd.spec import NVME_MLC_400, SATA_MLC_128, SATA_TLC_128, SsdSpec
+from repro.workloads.replay import replay_group
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BcacheDevice",
+    "CleanRedundancy",
+    "FlashcacheDevice",
+    "FlushPoint",
+    "WriteboostDevice",
+    "GcScheme",
+    "NVME_MLC_400",
+    "PrimaryStorage",
+    "Raid0Device",
+    "Raid1Device",
+    "Raid4Device",
+    "Raid5Device",
+    "SATA_MLC_128",
+    "SATA_TLC_128",
+    "SSDDevice",
+    "SrcCache",
+    "SrcConfig",
+    "SsdSpec",
+    "VictimPolicy",
+    "WritePolicy",
+    "make_raid",
+    "precondition",
+    "recover",
+    "replay_group",
+]

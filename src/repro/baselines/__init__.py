@@ -1,0 +1,3 @@
+"""Behavioural models of the open-source cache solutions the
+paper compares against: Bcache, Flashcache, and DM-Writeboost
+(the code base SRC was derived from)."""

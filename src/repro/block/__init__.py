@@ -1,0 +1,1 @@
+"""Block-device abstraction (the Device Mapper analogue)."""

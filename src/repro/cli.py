@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+experiments              list the reproducible tables/figures
+run <exp-id>             run one experiment and print its table
+report [out.md]          run everything, write the experiments report
+replay <group>           replay a trace group against a chosen target
+export-trace <name> ...  materialise a synthetic trace as MSR CSV
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.context import DEFAULT_SCALE, QUICK_SCALE, ExperimentScale
+
+EXPERIMENTS = {
+    "table2": ("repro.harness.exp_table2", "WT vs WB, single SSD"),
+    "table3": ("repro.harness.exp_table3", "flush command impact"),
+    "fig1": ("repro.harness.exp_fig1", "caches over RAID levels"),
+    "fig2": ("repro.harness.exp_fig2", "erase group size"),
+    "fig4": ("repro.harness.exp_fig4", "SRC vs erase group size"),
+    "table8": ("repro.harness.exp_table8", "free space management"),
+    "fig5": ("repro.harness.exp_fig5", "UMAX sweep"),
+    "table9": ("repro.harness.exp_table9", "PC vs NPC"),
+    "table10": ("repro.harness.exp_table10", "SRC RAID level"),
+    "table11": ("repro.harness.exp_table11", "flush control"),
+    "fig6": ("repro.harness.exp_fig6", "cost-effectiveness"),
+    "fig7": ("repro.harness.exp_fig7", "SRC vs existing solutions"),
+    "table6": ("repro.harness.exp_table6", "trace characteristics"),
+    "tables4-12": ("repro.harness.exp_tables4_12", "product sheets"),
+    "ablation": ("repro.harness.exp_ablation", "design ablations"),
+    "writeboost": ("repro.harness.exp_writeboost",
+                   "supplementary: SRC vs DM-Writeboost lineage"),
+    "latency": ("repro.harness.exp_latency",
+                "supplementary: latency percentiles per scheme"),
+}
+
+
+def _scale_from(args) -> ExperimentScale:
+    return QUICK_SCALE if args.quick else DEFAULT_SCALE
+
+
+def cmd_experiments(_args) -> int:
+    width = max(len(k) for k in EXPERIMENTS)
+    for key, (_, blurb) in EXPERIMENTS.items():
+        print(f"{key:<{width}}  {blurb}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; see "
+              f"'python -m repro experiments'", file=sys.stderr)
+        return 2
+    module_name, _ = EXPERIMENTS[args.experiment]
+    import importlib
+    module = importlib.import_module(module_name)
+    if args.experiment == "tables4-12":
+        print(module.run_table4().render())
+        print()
+        print(module.run_table12().render())
+        return 0
+    result = module.run(_scale_from(args))
+    print(result.render())
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.harness.report import generate
+    label = " (--quick preset)" if args.quick else ""
+    generate(_scale_from(args), args.output, quick_label=label)
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from repro.baselines.common import WritePolicy
+    from repro.core.config import SrcConfig
+    from repro.harness.context import (CACHE_SPACE, build_bcache,
+                                       build_flashcache, build_src)
+    from repro.workloads.replay import replay_group
+    es = _scale_from(args)
+    builders = {
+        "src": lambda: build_src(es.scale,
+                                 SrcConfig(cache_space=CACHE_SPACE)),
+        "bcache5": lambda: build_bcache(
+            es.scale, raid_level=5, policy=WritePolicy.WRITE_BACK,
+            writeback_percent=0.90),
+        "flashcache5": lambda: build_flashcache(
+            es.scale, raid_level=5, policy=WritePolicy.WRITE_BACK,
+            dirty_thresh_pct=0.90),
+    }
+    if args.target not in builders:
+        print(f"unknown target {args.target!r} "
+              f"(src | bcache5 | flashcache5)", file=sys.stderr)
+        return 2
+    result = replay_group(builders[args.target](), args.group,
+                          scale=es.scale, duration=es.duration,
+                          warmup=es.warmup, seed=es.seed)
+    print(f"{args.target} on {args.group}: "
+          f"{result.throughput_mb_s:.1f} MB/s, "
+          f"amplification {result.io_amplification:.2f}, "
+          f"hit ratio {result.hit_ratio:.2f}")
+    return 0
+
+
+def cmd_export_trace(args) -> int:
+    from repro.workloads.trace_io import export_synthetic
+    with open(args.output, "w", encoding="utf-8") as sink:
+        count = export_synthetic(args.trace, args.requests, sink,
+                                 scale=args.scale, seed=args.seed)
+    print(f"wrote {count} records to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SRC (Middleware'15) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments", help="list reproducible experiments")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment")
+    run.add_argument("--quick", action="store_true",
+                     help="smaller/faster preset")
+
+    report = sub.add_parser("report", help="run everything, write report")
+    report.add_argument("output", nargs="?", default="EXPERIMENTS.md")
+    report.add_argument("--quick", action="store_true")
+
+    replay = sub.add_parser("replay", help="replay a trace group")
+    replay.add_argument("group", choices=["write", "mixed", "read"])
+    replay.add_argument("--target", default="src")
+    replay.add_argument("--quick", action="store_true")
+
+    export = sub.add_parser("export-trace",
+                            help="export a synthetic trace as MSR CSV")
+    export.add_argument("trace")
+    export.add_argument("output")
+    export.add_argument("--requests", type=int, default=10_000)
+    export.add_argument("--scale", type=float, default=1.0)
+    export.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "experiments": cmd_experiments,
+        "run": cmd_run,
+        "report": cmd_report,
+        "replay": cmd_replay,
+        "export-trace": cmd_export_trace,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

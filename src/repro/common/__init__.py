@@ -1,0 +1,1 @@
+"""Shared primitives: units, request types, checksums, errors."""

@@ -1,0 +1,35 @@
+"""Checksums used by SRC metadata and data blocks.
+
+SRC stores a checksum per cached data block and checksums its metadata
+blocks so that silent corruption can be detected on read (paper §4.1,
+"Failure Handling").  We use CRC-32 over the block's content token.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+
+def crc32(data: bytes, seed: int = 0) -> int:
+    """CRC-32 of ``data``, optionally chained from ``seed``."""
+    return zlib.crc32(data, seed) & 0xFFFFFFFF
+
+
+def block_checksum(lba: int, version: int) -> int:
+    """Checksum of a simulated data block.
+
+    The simulator does not carry real payloads; a block's logical content
+    is fully identified by ``(lba, version)`` where ``version`` counts
+    overwrites of that LBA.  The checksum is a CRC over that identity so
+    corruption (a flipped version or misdirected write) is detectable
+    exactly as a payload CRC would detect it on hardware.
+    """
+    return crc32(lba.to_bytes(8, "little") + version.to_bytes(8, "little"))
+
+
+def metadata_checksum(fields: tuple) -> int:
+    """Checksum over an iterable of ints describing a metadata block."""
+    acc = 0
+    for field in fields:
+        acc = crc32(int(field).to_bytes(8, "little", signed=True), acc)
+    return acc

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """A device or cache was configured with invalid parameters."""
+
+
+class AddressError(ReproError):
+    """An I/O request fell outside the device's address space."""
+
+
+class DeviceFailedError(ReproError):
+    """An I/O was issued to a device that has failed (fail-stop)."""
+
+
+class ChecksumError(ReproError):
+    """Stored data failed checksum verification (silent corruption)."""
+
+
+class RecoveryError(ReproError):
+    """Crash-recovery could not restore a consistent state."""
+
+
+class RaidDegradedError(ReproError):
+    """An operation is impossible in the array's current degraded state."""

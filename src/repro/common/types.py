@@ -1,0 +1,171 @@
+"""Core I/O request types shared by every layer of the stack.
+
+The block layer speaks in :class:`Request` objects, mirroring the Linux
+``bio``: an opcode, a byte offset, a byte length and optional flags.
+Simulated devices consume a request and return the completion time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.units import PAGE_SIZE
+
+
+class Op(enum.Enum):
+    """Block-layer operation codes."""
+
+    READ = "read"
+    WRITE = "write"
+    FLUSH = "flush"   # barrier: durably persist all completed writes
+    TRIM = "trim"     # advise the device the range is dead (discard)
+
+
+@dataclass
+class Request:
+    """A block-layer I/O request.
+
+    ``offset`` and ``length`` are in bytes.  ``fua`` marks a Force Unit
+    Access write (write-through the device cache).  FLUSH requests carry
+    zero length.
+    """
+
+    op: Op
+    offset: int = 0
+    length: int = 0
+    fua: bool = False
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.length < 0:
+            raise ValueError(f"negative offset/length: {self}")
+        if self.op is Op.FLUSH and self.length != 0:
+            raise ValueError("FLUSH requests carry no data")
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+    def pages(self) -> range:
+        """Logical 4 KiB page indexes covered by this request."""
+        first = self.offset // PAGE_SIZE
+        last = (self.end + PAGE_SIZE - 1) // PAGE_SIZE
+        return range(first, last)
+
+
+def read(offset: int, length: int) -> Request:
+    return Request(Op.READ, offset, length)
+
+
+def write(offset: int, length: int, fua: bool = False) -> Request:
+    return Request(Op.WRITE, offset, length, fua=fua)
+
+
+def flush() -> Request:
+    return Request(Op.FLUSH)
+
+
+def trim(offset: int, length: int) -> Request:
+    return Request(Op.TRIM, offset, length)
+
+
+@dataclass
+class IoStats:
+    """Byte and operation counters, kept per device / per layer."""
+
+    read_bytes: int = 0
+    write_bytes: int = 0
+    read_ops: int = 0
+    write_ops: int = 0
+    flush_ops: int = 0
+    trim_ops: int = 0
+    trim_bytes: int = 0
+
+    def record(self, req: Request) -> None:
+        if req.op is Op.READ:
+            self.read_ops += 1
+            self.read_bytes += req.length
+        elif req.op is Op.WRITE:
+            self.write_ops += 1
+            self.write_bytes += req.length
+        elif req.op is Op.FLUSH:
+            self.flush_ops += 1
+        elif req.op is Op.TRIM:
+            self.trim_ops += 1
+            self.trim_bytes += req.length
+
+    @property
+    def total_bytes(self) -> int:
+        return self.read_bytes + self.write_bytes
+
+    @property
+    def total_ops(self) -> int:
+        return self.read_ops + self.write_ops + self.flush_ops + self.trim_ops
+
+    def snapshot(self) -> "IoStats":
+        return IoStats(
+            self.read_bytes, self.write_bytes, self.read_ops,
+            self.write_ops, self.flush_ops, self.trim_ops, self.trim_bytes,
+        )
+
+    def delta(self, earlier: "IoStats") -> "IoStats":
+        """Counters accumulated since ``earlier`` was snapshotted."""
+        return IoStats(
+            self.read_bytes - earlier.read_bytes,
+            self.write_bytes - earlier.write_bytes,
+            self.read_ops - earlier.read_ops,
+            self.write_ops - earlier.write_ops,
+            self.flush_ops - earlier.flush_ops,
+            self.trim_ops - earlier.trim_ops,
+            self.trim_bytes - earlier.trim_bytes,
+        )
+
+
+@dataclass
+class LatencyStats:
+    """Streaming latency accumulator with approximate percentiles.
+
+    Percentiles come from a fixed reservoir sample (size 4096) so
+    memory stays bounded over arbitrarily long runs.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    max: float = 0.0
+    _reservoir: list = field(default_factory=list)
+    _reservoir_size: int = 4096
+
+    def record(self, latency: float) -> None:
+        self.count += 1
+        self.total += latency
+        if latency > self.max:
+            self.max = latency
+        if len(self._reservoir) < self._reservoir_size:
+            self._reservoir.append(latency)
+        else:
+            # Vitter's algorithm R with a deterministic hash-based slot.
+            slot = hash((self.count, round(latency * 1e9))) % self.count
+            if slot < self._reservoir_size:
+                self._reservoir[slot] = latency
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-quantile (q in [0, 1]) from the reservoir."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0,1], got {q}")
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)

@@ -1,0 +1,52 @@
+"""Size and time units used throughout the simulator.
+
+All byte quantities in the code base are plain ``int`` bytes and all
+simulated times are ``float`` seconds.  These constants keep call sites
+readable (``4 * KIB`` rather than ``4096``).
+"""
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+
+# Decimal units -- used for interface bandwidths quoted by vendors
+# (SATA "530 MB/s" means 530e6 bytes/s, not 530 MiB/s).
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+USEC = 1e-6
+MSEC = 1e-3
+
+SECTOR_SIZE = 512
+PAGE_SIZE = 4 * KIB  # the logical block size the cache layer manages
+
+
+def sectors(nbytes: int) -> int:
+    """Number of 512-byte sectors covering ``nbytes``."""
+    return (nbytes + SECTOR_SIZE - 1) // SECTOR_SIZE
+
+
+def pages(nbytes: int) -> int:
+    """Number of 4 KiB logical pages covering ``nbytes``."""
+    return (nbytes + PAGE_SIZE - 1) // PAGE_SIZE
+
+
+def mb_per_sec(nbytes: int, seconds: float) -> float:
+    """Throughput in decimal MB/s, the unit the paper reports."""
+    if seconds <= 0:
+        return 0.0
+    return nbytes / seconds / MB
+
+
+def fmt_bytes(nbytes: int) -> str:
+    """Human-readable byte count (binary units)."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024 or unit == "TiB":
+            if unit == "B":
+                return f"{int(value)}{unit}"
+            return f"{value:.1f}{unit}"
+        value /= 1024
+    raise AssertionError("unreachable")

@@ -1,0 +1,2 @@
+"""SRC — the paper's contribution: log-structured SSD-RAID cache
+with segment groups, Sel-GC, NPC stripes and crash recovery."""

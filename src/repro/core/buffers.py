@@ -1,0 +1,115 @@
+"""Segment buffers (paper §4.1).
+
+SRC maintains two in-memory segment buffers — one for dirty data (host
+writes) and one for clean data (read-miss fills) — plus a temporary
+staging buffer for data fetched from primary storage.  A buffer gathers
+4 KiB blocks until it holds a full segment's worth, at which point the
+whole segment is written to the active Segment Group.
+
+Clean and dirty data are kept apart because a clean block can be lost
+without consequence (it has a copy on primary storage), which is what
+enables the NPC stripe mode and timeout-free clean buffering: only the
+dirty buffer needs the TWAIT partial-segment timeout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigError
+
+
+class SegmentBuffer:
+    """An in-RAM accumulation buffer for one class of data."""
+
+    def __init__(self, capacity_blocks: int, dirty: bool, name: str):
+        if capacity_blocks <= 0:
+            raise ConfigError("segment buffer needs positive capacity")
+        self.capacity = capacity_blocks
+        self.dirty = dirty
+        self.name = name
+        self._order: List[int] = []
+        self._present: Dict[int, int] = {}   # lba -> position in _order
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, lba: int) -> bool:
+        return lba in self._present
+
+    @property
+    def full(self) -> bool:
+        return len(self._order) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._order
+
+    def add(self, lba: int) -> bool:
+        """Buffer a block.  Returns True if the buffer is now full.
+
+        Re-adding a block already buffered is an in-place update (the
+        common rewrite-absorption win of a RAM buffer) and consumes no
+        additional slot.
+        """
+        if lba in self._present:
+            return self.full
+        if self.full:
+            raise ConfigError(f"{self.name} buffer overfull")
+        self._present[lba] = len(self._order)
+        self._order.append(lba)
+        return self.full
+
+    def remove(self, lba: int) -> bool:
+        """Drop a buffered block (e.g. invalidated by a newer write)."""
+        if lba not in self._present:
+            return False
+        del self._present[lba]
+        self._order.remove(lba)
+        return True
+
+    def drain(self) -> List[int]:
+        """Take every buffered block, emptying the buffer."""
+        blocks = self._order
+        self._order = []
+        self._present = {}
+        return blocks
+
+    def peek(self) -> List[int]:
+        return list(self._order)
+
+    def resize(self, capacity_blocks: int) -> None:
+        """Adjust capacity (used when the active segment type changes)."""
+        if capacity_blocks < len(self._order):
+            raise ConfigError("cannot shrink below current occupancy")
+        self.capacity = capacity_blocks
+
+
+class StagingBuffer:
+    """Transient holding area for read-miss fetches (paper §4.1).
+
+    Data lands here on arrival from primary storage so the application
+    read can be acknowledged immediately; blocks move to the clean
+    segment buffer asynchronously.  We track membership so a re-read
+    while staged is a RAM hit.
+    """
+
+    def __init__(self) -> None:
+        self._staged: Dict[int, float] = {}   # lba -> arrival time
+
+    def __contains__(self, lba: int) -> bool:
+        return lba in self._staged
+
+    def __len__(self) -> int:
+        return len(self._staged)
+
+    def put(self, lba: int, now: float) -> None:
+        self._staged[lba] = now
+
+    def pop(self, lba: int) -> Optional[float]:
+        return self._staged.pop(lba, None)
+
+    def drain(self) -> List[int]:
+        blocks = list(self._staged)
+        self._staged.clear()
+        return blocks

@@ -1,0 +1,126 @@
+"""SRC configuration — the design space of Table 7.
+
+Defaults match the bold entries of the paper's Table 7: 256 MB erase
+group, Sel-GC with UMAX 90%, FIFO victim selection, no parity for clean
+data (NPC), RAID-5, flush per Segment Group.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.common.units import KIB, MIB, PAGE_SIZE
+
+
+class GcScheme(enum.Enum):
+    S2D = "s2d"          # destage-only GC (SSD to Disk)
+    SEL_GC = "sel-gc"    # selective S2S/S2D by utilization and hotness
+
+
+class VictimPolicy(enum.Enum):
+    FIFO = "fifo"        # oldest segment group first
+    GREEDY = "greedy"    # least-utilized segment group first
+    # §6 future work ("other victim SG selection policies"): the LFS
+    # cost-benefit heuristic — prefer old, lightly-utilized groups via
+    # age * (1 - u) / (1 + u).
+    COST_BENEFIT = "cost-benefit"
+
+
+class CleanRedundancy(enum.Enum):
+    PC = "pc"            # Parity for Clean stripes
+    NPC = "npc"          # No Parity for Clean stripes
+
+
+class FlushPoint(enum.Enum):
+    PER_SEGMENT = "per-segment"
+    PER_SEGMENT_GROUP = "per-segment-group"
+
+
+@dataclass(frozen=True)
+class SrcConfig:
+    """Tunable parameters of an SRC cache instance (Table 7)."""
+
+    n_ssds: int = 4
+    erase_group_size: int = 256 * MIB   # per-SSD; SG size = n_ssds * this
+    segment_unit: int = 512 * KIB       # per-SSD share of one segment
+    gc_scheme: GcScheme = GcScheme.SEL_GC
+    u_max: float = 0.90                 # Sel-GC S2S/S2D utilization bound
+    victim_policy: VictimPolicy = VictimPolicy.FIFO
+    clean_redundancy: CleanRedundancy = CleanRedundancy.NPC
+    raid_level: int = 5                 # 0, 4 or 5 at the cache level
+    flush_point: FlushPoint = FlushPoint.PER_SEGMENT_GROUP
+    # Partial-segment timeout.  §4.1 quotes 20 microseconds, but at that
+    # value every write whose predecessor is more than 20 us away would
+    # burn a whole segment slot on a partial write — pathological for
+    # any workload below full write saturation.  We default to 10 ms,
+    # which preserves the durability intent (dirty data never lingers
+    # unpersisted) without the slot-burn artefact.
+    t_wait: float = 10e-3
+    cache_space: int = 0                # bytes of cache space to use (0=all)
+    gc_free_low: int = 2                # SGs: reclaim below this many free
+    gc_free_high: int = 4               # SGs: reclaim up to this many free
+    separate_hot_clean: bool = False    # future-work extension (§6)
+    hotness_aware: bool = True          # ablation: False copies all clean
+                                        # data in S2S instead of hot only
+
+    def __post_init__(self) -> None:
+        if self.n_ssds < 1:
+            raise ConfigError("need at least one SSD")
+        if self.raid_level not in (0, 4, 5):
+            raise ConfigError(f"unsupported cache RAID level {self.raid_level}")
+        if self.raid_level in (4, 5) and self.n_ssds < 3:
+            raise ConfigError("parity RAID needs >= 3 SSDs")
+        if not 0.0 < self.u_max <= 1.0:
+            raise ConfigError(f"u_max must be in (0,1], got {self.u_max}")
+        if self.erase_group_size % self.segment_unit:
+            raise ConfigError("erase group must be a multiple of the "
+                              "segment unit")
+        if self.segment_unit % PAGE_SIZE:
+            raise ConfigError("segment unit must be 4 KiB aligned")
+        if self.gc_free_high < self.gc_free_low:
+            raise ConfigError("gc_free_high must be >= gc_free_low")
+
+    # Geometry (paper §4.1, in the M = 4, S = 128 GB context) ----------
+    @property
+    def segment_size(self) -> int:
+        """One segment spans ``segment_unit`` bytes on every SSD (2 MB)."""
+        return self.segment_unit * self.n_ssds
+
+    @property
+    def segment_group_size(self) -> int:
+        """One SG spans the erase group on every SSD (1 GB)."""
+        return self.erase_group_size * self.n_ssds
+
+    @property
+    def segments_per_group(self) -> int:
+        return self.erase_group_size // self.segment_unit
+
+    @property
+    def data_ssds(self) -> int:
+        """SSD shares carrying data in a parity-protected stripe."""
+        return self.n_ssds - 1 if self.raid_level in (4, 5) else self.n_ssds
+
+    def scaled(self, factor: float) -> "SrcConfig":
+        """Shrink the capacity-like knobs, mirroring SsdSpec.scaled."""
+        if not 0 < factor <= 1:
+            raise ConfigError(f"scale factor must be in (0,1], got {factor}")
+
+        def scale(nbytes: int, floor: int) -> int:
+            scaled_val = max(floor, int(nbytes * factor))
+            return scaled_val - scaled_val % floor
+
+        from dataclasses import replace
+        # The segment unit is floored at 256 KiB so metadata overhead
+        # (2 blocks of MS/ME per unit) stays near the paper's ~1.6%
+        # rather than ballooning at small scales.
+        seg_unit = max(scale(self.segment_unit, 4 * KIB), 256 * KIB)
+        erase = max(scale(self.erase_group_size, seg_unit), 4 * seg_unit)
+        return replace(
+            self,
+            segment_unit=seg_unit,
+            erase_group_size=erase,
+            cache_space=scale(self.cache_space, 4 * KIB)
+            if self.cache_space else 0,
+        )

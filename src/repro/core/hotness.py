@@ -1,0 +1,45 @@
+"""Per-page hotness tracking (paper §4.2).
+
+Sel-GC keeps hot clean data in the cache during S2S collection and
+drops cold clean data.  Hotness is determined by a per-page bitmap kept
+in RAM: a page is hot if it has been re-referenced since it was last
+given a chance (a second-chance / clock discipline, which is what a
+single bitmap degenerate form of LRU provides).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+
+class HotnessBitmap:
+    """Second-chance hotness bits over origin logical blocks."""
+
+    def __init__(self) -> None:
+        self._hot: Set[int] = set()
+        self.references = 0
+
+    def touch(self, lba: int) -> None:
+        """Record a reference (read hit or rewrite)."""
+        self._hot.add(lba)
+        self.references += 1
+
+    def is_hot(self, lba: int) -> bool:
+        return lba in self._hot
+
+    def clear(self, lba: int) -> None:
+        """Consume the block's second chance (on GC consideration)."""
+        self._hot.discard(lba)
+
+    def evict(self, lba: int) -> None:
+        """Forget a block that left the cache."""
+        self._hot.discard(lba)
+
+    @property
+    def hot_count(self) -> int:
+        return len(self._hot)
+
+    @property
+    def memory_bytes(self) -> int:
+        """One bit per tracked page, as the paper's RAM bitmap."""
+        return (len(self._hot) + 7) // 8

@@ -1,0 +1,110 @@
+"""In-memory logical-to-cache mapping (paper §4.1).
+
+SRC keeps an in-memory table translating origin logical block addresses
+to cache locations — 16 bytes per 4 KiB cached, ~0.3% of cache
+capacity.  The table here also powers GC: each segment group tracks the
+blocks it currently holds so victims can be enumerated in O(valid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.layout import BlockLocation
+
+
+@dataclass
+class CacheEntry:
+    """Mapping-table row for one cached block."""
+
+    location: BlockLocation
+    dirty: bool
+    checksum: int = 0
+    version: int = 0
+
+
+class MappingTable:
+    """LBA -> cache-location map plus per-SG reverse indexes."""
+
+    def __init__(self, n_groups: int):
+        self._map: Dict[int, CacheEntry] = {}
+        self._per_sg: List[Dict[Tuple[int, int, int], int]] = [
+            {} for _ in range(n_groups)
+        ]
+        self.dirty_count = 0
+
+    # ------------------------------------------------------------------
+    def lookup(self, lba: int) -> Optional[CacheEntry]:
+        return self._map.get(lba)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __contains__(self, lba: int) -> bool:
+        return lba in self._map
+
+    @staticmethod
+    def _key(loc: BlockLocation) -> Tuple[int, int, int]:
+        return (loc.segment, loc.ssd, loc.offset)
+
+    def insert(self, lba: int, entry: CacheEntry) -> None:
+        """Install a mapping, invalidating any previous location."""
+        self.invalidate(lba)
+        self._map[lba] = entry
+        self._per_sg[entry.location.sg][self._key(entry.location)] = lba
+        if entry.dirty:
+            self.dirty_count += 1
+
+    def invalidate(self, lba: int) -> Optional[CacheEntry]:
+        """Drop the mapping for ``lba`` (returns the old entry if any)."""
+        entry = self._map.pop(lba, None)
+        if entry is None:
+            return None
+        self._per_sg[entry.location.sg].pop(self._key(entry.location), None)
+        if entry.dirty:
+            self.dirty_count -= 1
+        return entry
+
+    def mark_clean(self, lba: int) -> None:
+        """Transition a dirty block to clean after destaging."""
+        entry = self._map[lba]
+        if entry.dirty:
+            entry.dirty = False
+            self.dirty_count -= 1
+
+    # ------------------------------------------------------------------
+    # per-SG views (GC)
+    # ------------------------------------------------------------------
+    def sg_valid_count(self, sg: int) -> int:
+        return len(self._per_sg[sg])
+
+    def sg_blocks(self, sg: int) -> List[Tuple[int, CacheEntry]]:
+        """Valid (lba, entry) pairs currently living in ``sg``."""
+        return [(lba, self._map[lba]) for lba in self._per_sg[sg].values()]
+
+    def drop_sg(self, sg: int) -> None:
+        """Forget every mapping in a segment group (post-reclaim)."""
+        for lba in list(self._per_sg[sg].values()):
+            self.invalidate(lba)
+
+    # ------------------------------------------------------------------
+    @property
+    def memory_bytes(self) -> int:
+        """The paper's 16 bytes/entry accounting."""
+        return 16 * len(self._map)
+
+    def valid_blocks(self) -> int:
+        return len(self._map)
+
+    def check_invariants(self) -> None:
+        dirty = sum(1 for e in self._map.values() if e.dirty)
+        assert dirty == self.dirty_count, "dirty_count drifted"
+        per_sg_total = sum(len(d) for d in self._per_sg)
+        assert per_sg_total == len(self._map), "per-SG index drifted"
+        for sg, index in enumerate(self._per_sg):
+            for key, lba in index.items():
+                entry = self._map.get(lba)
+                assert entry is not None, f"index points at evicted lba {lba}"
+                assert entry.location.sg == sg, "entry in wrong SG index"
+                assert self._key(entry.location) == key, "stale index key"

@@ -1,0 +1,125 @@
+"""Crash recovery by metadata scan (paper §4.1, "Failure Handling").
+
+After a power failure, SRC scans the MS/ME metadata blocks of every
+segment.  A segment whose MS and ME generation numbers agree is
+consistent and its mappings are replayed in log (sequence) order —
+later segments supersede earlier ones.  A torn segment (generation
+mismatch) is discarded and its space returned.  Because SRC persists
+metadata for *clean* data too, both clean and dirty contents survive —
+the property Table 5 credits SRC with, unlike Bcache and Flashcache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.block.device import BlockDevice
+from repro.common.checksum import block_checksum
+from repro.common.errors import RecoveryError
+from repro.common.types import Op, Request
+from repro.common.units import PAGE_SIZE
+from repro.core.config import SrcConfig
+from repro.core.layout import SegmentLayout
+from repro.core.mapping import CacheEntry
+from repro.core.metadata import MetadataStore
+from repro.core.src import SrcCache, _GroupState
+
+
+@dataclass
+class RecoveryReport:
+    """What the scan found and restored."""
+
+    segments_scanned: int = 0
+    segments_recovered: int = 0
+    segments_discarded: int = 0
+    blocks_recovered: int = 0
+    dirty_blocks: int = 0
+    clean_blocks: int = 0
+    checksum_failures: int = 0
+    elapsed: float = 0.0
+    groups_in_use: List[int] = field(default_factory=list)
+
+
+def recover(ssds: List[BlockDevice], origin: BlockDevice,
+            config: SrcConfig, metadata: MetadataStore,
+            now: float = 0.0) -> "tuple[SrcCache, RecoveryReport]":
+    """Rebuild an SRC instance from its durable metadata.
+
+    Returns the recovered cache and a report; the report's ``elapsed``
+    is the simulated time the scan took (metadata reads are charged to
+    the SSDs).
+    """
+    if metadata.superblock is None:
+        raise RecoveryError("no superblock: device was never formatted")
+
+    cache = SrcCache(ssds, origin, config, metadata=metadata)
+    report = RecoveryReport()
+
+    # Hand the constructor-allocated active SG back; the replay decides
+    # which groups are occupied before a fresh active SG is chosen.
+    recycled = cache.active.index
+    cache.groups[recycled].state = _GroupState.FREE
+    cache._free.append(recycled)
+
+    # Scan pass: MS/ME reads for every summary, charged to the SSDs.
+    end = now
+    summaries = metadata.all_summaries()
+    for summary in summaries:
+        report.segments_scanned += 1
+        for ms_off, me_off in cache.layout.metadata_offsets(
+                summary.sg, summary.segment):
+            for ssd in ssds:
+                if getattr(ssd, "failed", False):
+                    continue
+                end = max(end, ssd.submit(
+                    Request(Op.READ, ms_off, PAGE_SIZE), now))
+                end = max(end, ssd.submit(
+                    Request(Op.READ, me_off, PAGE_SIZE), now))
+            break  # offsets identical across SSDs; charge each SSD once
+
+    # Replay pass: later sequence numbers win.
+    discarded = []
+    groups_seen: Dict[int, int] = {}   # sg -> first sequence seen
+    for summary in summaries:
+        if not summary.consistent:
+            report.segments_discarded += 1
+            discarded.append((summary.sg, summary.segment))
+            continue
+        groups_seen.setdefault(summary.sg, summary.sequence)
+        report.segments_recovered += 1
+        for slot, lba in enumerate(summary.lbas):
+            version = (summary.versions[slot]
+                       if slot < len(summary.versions) else 0)
+            stored_crc = summary.checksums[slot]
+            if stored_crc != block_checksum(lba, version):
+                report.checksum_failures += 1
+                continue
+            loc = cache.layout.slot_location(
+                summary.sg, summary.segment, slot, summary.with_parity)
+            cache.mapping.insert(lba, CacheEntry(
+                location=loc, dirty=summary.dirty, checksum=stored_crc,
+                version=version))
+            cache._versions[lba] = version
+            report.blocks_recovered += 1
+            if summary.dirty:
+                report.dirty_blocks += 1
+            else:
+                report.clean_blocks += 1
+
+    for key in discarded:
+        metadata._summaries.pop(key, None)
+
+    # Group states: any SG with recovered segments is closed; FIFO order
+    # follows first-use sequence so victim selection behaves as before.
+    for sg in sorted(groups_seen, key=groups_seen.get):
+        group = cache.groups[sg]
+        group.state = _GroupState.CLOSED
+        group.next_segment = cache.layout.segments_per_group
+        cache._free.remove(sg)
+        cache._closed_fifo.append(sg)
+    report.groups_in_use = sorted(groups_seen)
+
+    cache.active = cache._take_free_group()
+    report.elapsed = end - now
+    return cache, report

@@ -1,0 +1,712 @@
+"""SRC — SSD RAID as a Cache (paper §4).
+
+The cache target that ties the pieces together:
+
+* log-structured writes into Segment Groups aligned to the SSDs' erase
+  group size, with one active SG at a time (§4.1);
+* separate in-RAM segment buffers for clean and dirty data, a staging
+  buffer for read misses, and a TWAIT partial-segment timeout;
+* per-segment metadata blocks (MS/ME) bundling LBAs and checksums with
+  the data, so both clean and dirty contents survive crashes;
+* cache-level RAID-0/4/5 stripes assembled inside segments, with the
+  NPC option that omits parity for clean-data segments (§4.3);
+* free-space reclamation by S2D destaging or Sel-GC, with FIFO or
+  Greedy victim selection and the UMAX utilization bound (§4.2);
+* flush-command control: SSD flushes per segment or per SG (§4.1);
+* failure handling: parity reconstruction for reads under a failed or
+  silently-corrupted SSD block, online rebuild, and crash recovery by
+  metadata scan (implemented in :mod:`repro.core.recovery`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.common import CacheStats, CacheTarget
+from repro.block.device import BlockDevice
+from repro.common.checksum import block_checksum
+from repro.common.errors import ConfigError, RaidDegradedError
+from repro.common.types import Op, Request
+from repro.common.units import PAGE_SIZE
+from repro.core.buffers import SegmentBuffer, StagingBuffer
+from repro.core.config import (CleanRedundancy, FlushPoint, GcScheme,
+                               SrcConfig, VictimPolicy)
+from repro.core.hotness import HotnessBitmap
+from repro.core.layout import BlockLocation, SegmentLayout
+from repro.core.mapping import CacheEntry, MappingTable
+from repro.core.metadata import (MetadataStore, SegmentSummary, Superblock,
+                                 SRC_MAGIC)
+
+RAM_LATENCY = 2e-6  # buffer hit / insert latency
+
+
+@dataclass
+class SrcStats:
+    """SRC-specific counters on top of the shared cache stats."""
+
+    segment_writes: int = 0
+    partial_segment_writes: int = 0
+    sg_allocations: int = 0
+    s2s_collections: int = 0
+    s2d_collections: int = 0
+    gc_copied_blocks: int = 0
+    gc_destaged_blocks: int = 0
+    gc_dropped_clean: int = 0
+    flush_commands: int = 0
+    corruption_repairs: int = 0
+    parity_reconstructions: int = 0
+    degraded_reads: int = 0
+    unrecoverable_errors: int = 0
+    timeout_flushes: int = 0
+
+
+class _GroupState:
+    """Runtime state of one segment group."""
+
+    FREE = "free"
+    ACTIVE = "active"
+    CLOSED = "closed"
+
+    def __init__(self, index: int):
+        self.index = index
+        self.state = _GroupState.FREE
+        self.next_segment = 0
+        self.sequence = -1   # allocation order, for FIFO victim selection
+
+
+class SrcCache(CacheTarget):
+    """The SRC caching device over an array of SSDs."""
+
+    def __init__(self, ssds: List[BlockDevice], origin: BlockDevice,
+                 config: SrcConfig = SrcConfig(),
+                 metadata: Optional[MetadataStore] = None,
+                 create_time: float = 0.0):
+        if len(ssds) != config.n_ssds:
+            raise ConfigError(
+                f"config expects {config.n_ssds} SSDs, got {len(ssds)}")
+        super().__init__(ssds[0], origin, "src")  # cache_dev unused directly
+        self.ssds = ssds
+        self.config = config
+        self.layout = SegmentLayout(config, min(s.size for s in ssds))
+        self.mapping = MappingTable(self.layout.groups)
+        self.hotness = HotnessBitmap()
+        self.dirty_buf = SegmentBuffer(
+            self.layout.dirty_segment_capacity(), dirty=True, name="dirty")
+        self.clean_buf = SegmentBuffer(
+            self.layout.clean_segment_capacity(), dirty=False, name="clean")
+        self.staging = StagingBuffer()
+        self.metadata = metadata if metadata is not None else MetadataStore()
+        self.srcstats = SrcStats()
+
+        self.groups = [_GroupState(i) for i in range(self.layout.groups)]
+        # SG 0 holds the superblock and is read-only (§4.1).
+        self.groups[0].state = _GroupState.CLOSED
+        self._free: List[int] = list(range(self.layout.groups - 1, 0, -1))
+        self._closed_fifo: List[int] = []
+        self._sg_sequence = 0
+        self.active: _GroupState = self._take_free_group()
+        self._versions: Dict[int, int] = {}
+        self._last_dirty_write = 0.0
+        self._in_gc = False
+
+        if self.metadata.superblock is None:
+            self.metadata.format(Superblock(
+                magic=SRC_MAGIC, create_time=create_time,
+                device_size=origin.size, n_ssds=config.n_ssds,
+                erase_group_size=config.erase_group_size,
+                segment_unit=config.segment_unit))
+
+    # ==================================================================
+    # small helpers
+    # ==================================================================
+    def utilization(self) -> float:
+        """Fraction of cache data capacity holding valid blocks.
+
+        Capacity is computed for the parity (dirty) layout; NPC clean
+        segments pack slightly more, so the raw ratio can nudge past
+        1.0 — clamp, since callers treat this as a fraction.
+        """
+        raw = (self.mapping.valid_blocks()
+               / self.layout.cache_data_capacity_blocks())
+        return min(1.0, raw)
+
+    @property
+    def free_groups(self) -> int:
+        return len(self._free)
+
+    def ssd_bytes(self) -> int:
+        """Total bytes moved at the SSD-array layer (I/O amplification)."""
+        return sum(s.stats.total_bytes for s in self.ssds)
+
+    def io_amplification(self) -> float:
+        app = self.stats.total_bytes
+        return self.ssd_bytes() / app if app else 0.0
+
+    def _take_free_group(self) -> _GroupState:
+        if not self._free:
+            raise ConfigError("no free segment groups")
+        group = self.groups[self._free.pop()]
+        group.state = _GroupState.ACTIVE
+        group.next_segment = 0
+        self._sg_sequence += 1
+        group.sequence = self._sg_sequence
+        self.srcstats.sg_allocations += 1
+        return group
+
+    def _version_of(self, lba: int, bump: bool) -> int:
+        if bump:
+            self._versions[lba] = self._versions.get(lba, 0) + 1
+        return self._versions.get(lba, 0)
+
+    def _alive(self, ssd_idx: int) -> bool:
+        return not getattr(self.ssds[ssd_idx], "failed", False)
+
+    # ==================================================================
+    # application write path
+    # ==================================================================
+    def write_block(self, block: int, now: float) -> float:
+        self._check_timeout(now)
+        if self.block_cached(block):
+            self.cstats.write_hits += 1
+            self.hotness.touch(block)
+        else:
+            self.cstats.write_misses += 1
+        if block in self.dirty_buf:
+            return now + RAM_LATENCY  # absorbed rewrite
+        # The block's previous incarnations are superseded.
+        self.mapping.invalidate(block)
+        self.clean_buf.remove(block)
+        self.staging.pop(block)
+        self._version_of(block, bump=True)
+        full = self.dirty_buf.add(block)
+        self._last_dirty_write = now
+        if full:
+            return self._write_segment(dirty=True, now=now)
+        return now + RAM_LATENCY
+
+    # ==================================================================
+    # application read path
+    # ==================================================================
+    def read_block(self, block: int, now: float) -> float:
+        self._check_timeout(now)
+        if (block in self.dirty_buf or block in self.clean_buf
+                or block in self.staging):
+            self.cstats.read_hits += 1
+            self.hotness.touch(block)
+            return now + RAM_LATENCY
+        entry = self.mapping.lookup(block)
+        if entry is not None:
+            self.cstats.read_hits += 1
+            self.hotness.touch(block)
+            return self._cache_read(block, entry, now)
+        return self._read_miss(block, now)
+
+    def block_cached(self, block: int) -> bool:
+        return (block in self.dirty_buf or block in self.clean_buf
+                or block in self.staging or block in self.mapping)
+
+    def install_fill(self, block: int, now: float) -> None:
+        self.cstats.read_misses += 1
+        self.staging.put(block, now)
+        self._fill_clean(block, now)
+
+    def read_request(self, req: Request, now: float) -> float:
+        self._check_timeout(now)
+        return super().read_request(req, now)
+
+    def _read_miss(self, block: int, now: float) -> float:
+        self.cstats.read_misses += 1
+        fetch_end = self.origin_read(block, now)
+        # Stage it, then move it to the clean segment buffer; the host
+        # is acked at fetch completion (§4.1).
+        self.staging.put(block, fetch_end)
+        self._fill_clean(block, fetch_end)
+        return fetch_end
+
+    def _fill_clean(self, block: int, now: float) -> None:
+        self.staging.pop(block)
+        if block in self.dirty_buf or block in self.clean_buf:
+            return
+        if self.mapping.lookup(block) is not None:
+            return
+        full = self.clean_buf.add(block)
+        self.cstats.fills += 1
+        if full:
+            self._write_segment(dirty=False, now=now)
+
+    # ------------------------------------------------------------------
+    # SSD reads with integrity / failure handling (§4.1)
+    # ------------------------------------------------------------------
+    def _cache_read(self, block: int, entry: CacheEntry, now: float) -> float:
+        loc = entry.location
+        ssd = self.ssds[loc.ssd]
+        if not self._alive(loc.ssd):
+            return self._degraded_read(block, entry, now)
+        end = ssd.submit(Request(Op.READ, loc.offset, PAGE_SIZE), now)
+        corrupted = getattr(ssd, "corrupted_in", None)
+        if corrupted is not None and corrupted(loc.offset, PAGE_SIZE):
+            return self._repair_corruption(block, entry, end)
+        return end
+
+    def _segment_has_parity(self, entry: CacheEntry) -> bool:
+        summary = self.metadata.read_summary(entry.location.sg,
+                                             entry.location.segment)
+        if summary is not None:
+            return summary.with_parity
+        if self.config.raid_level == 0:
+            return False
+        return (entry.dirty or
+                self.config.clean_redundancy is CleanRedundancy.PC)
+
+    def _stripe_read(self, entry: CacheEntry, now: float,
+                     skip_ssd: int) -> float:
+        """Read the same-row blocks from every other SSD (reconstruct)."""
+        loc = entry.location
+        row_offset = loc.offset - self.layout.unit_offset(loc.sg, loc.segment)
+        end = now
+        for idx in range(self.config.n_ssds):
+            if idx == skip_ssd or not self._alive(idx):
+                continue
+            offset = self.layout.unit_offset(loc.sg, loc.segment) + row_offset
+            end = max(end, self.ssds[idx].submit(
+                Request(Op.READ, offset, PAGE_SIZE), now))
+        return end
+
+    def _degraded_read(self, block: int, entry: CacheEntry,
+                       now: float) -> float:
+        """Serve a read whose home SSD has failed."""
+        self.srcstats.degraded_reads += 1
+        if self._segment_has_parity(entry):
+            self.srcstats.parity_reconstructions += 1
+            end = self._stripe_read(entry, now, skip_ssd=entry.location.ssd)
+            # Reconstructed data is re-cached through the proper buffer
+            # so it lands on healthy drives.
+            self._reinsert(block, entry, end)
+            return end
+        # No parity: clean data can be re-fetched; dirty data is lost.
+        if entry.dirty:
+            self.srcstats.unrecoverable_errors += 1
+        self.mapping.invalidate(block)
+        self.hotness.evict(block)
+        fetch_end = self.origin_read(block, now)
+        self.staging.put(block, fetch_end)
+        self._fill_clean(block, fetch_end)
+        return fetch_end
+
+    def _repair_corruption(self, block: int, entry: CacheEntry,
+                           now: float) -> float:
+        """Checksum mismatch on read: recover via parity or re-fetch."""
+        loc = entry.location
+        ssd = self.ssds[loc.ssd]
+        if self._segment_has_parity(entry):
+            self.srcstats.parity_reconstructions += 1
+            end = self._stripe_read(entry, now, skip_ssd=loc.ssd)
+        else:
+            if entry.dirty:
+                self.srcstats.unrecoverable_errors += 1
+            end = self.origin_read(block, now)
+        self.srcstats.corruption_repairs += 1
+        if hasattr(ssd, "clear_corruption"):
+            ssd.clear_corruption(loc.offset, PAGE_SIZE)
+        self._reinsert(block, entry, end)
+        return end
+
+    def _reinsert(self, block: int, entry: CacheEntry, now: float) -> None:
+        """Re-log a recovered block through the segment buffers."""
+        dirty = entry.dirty
+        self.mapping.invalidate(block)
+        buf = self.dirty_buf if dirty else self.clean_buf
+        if block not in buf:
+            full = buf.add(block)
+            if full:
+                self._write_segment(dirty=dirty, now=now)
+
+    # ==================================================================
+    # segment writing (§4.1)
+    # ==================================================================
+    def _segment_parity_flag(self, dirty: bool) -> bool:
+        if self.config.raid_level == 0:
+            return False
+        if dirty:
+            return True
+        return self.config.clean_redundancy is CleanRedundancy.PC
+
+    def _write_segment(self, dirty: bool, now: float) -> float:
+        buf = self.dirty_buf if dirty else self.clean_buf
+        blocks = buf.drain()
+        if not blocks:
+            return now
+        with_parity = self._segment_parity_flag(dirty)
+        capacity = self.layout.segment_data_capacity(with_parity)
+        partial = len(blocks) < capacity
+
+        sg, segment, start = self._alloc_segment(now)
+        group_done = self.groups[sg].next_segment >= \
+            self.layout.segments_per_group
+
+        # Install mappings and build the durable summary.
+        lbas: List[int] = []
+        checksums: List[int] = []
+        versions: List[int] = []
+        for slot, lba in enumerate(blocks):
+            loc = self.layout.slot_location(sg, segment, slot, with_parity)
+            version = self._version_of(lba, bump=False)
+            checksum = block_checksum(lba, version)
+            self.mapping.insert(lba, CacheEntry(
+                location=loc, dirty=dirty, checksum=checksum,
+                version=version))
+            lbas.append(lba)
+            checksums.append(checksum)
+            versions.append(version)
+
+        end = self._issue_unit_writes(sg, segment, len(blocks), with_parity,
+                                      start)
+        self.metadata.write_summary(SegmentSummary(
+            sg=sg, segment=segment, sequence=self.metadata.next_sequence(),
+            generation=self._sg_sequence * self.layout.segments_per_group
+            + segment + 1,
+            dirty=dirty, with_parity=with_parity,
+            lbas=lbas, checksums=checksums, versions=versions))
+
+        self.srcstats.segment_writes += 1
+        if partial:
+            self.srcstats.partial_segment_writes += 1
+
+        # flush control (§4.1): per segment, or per SG boundary.
+        if (self.config.flush_point is FlushPoint.PER_SEGMENT
+                or group_done):
+            end = self._flush_ssds(end)
+        return end
+
+    def _issue_unit_writes(self, sg: int, segment: int, nblocks: int,
+                           with_parity: bool, now: float) -> float:
+        """One unit-sized write per SSD persists the whole segment."""
+        per_unit = self.layout.data_blocks_per_unit
+        data_ssds = self.layout.data_ssds(sg, segment, with_parity)
+        parity_ssd = (self.layout.parity_ssd(sg, segment)
+                      if with_parity else -1)
+        base = self.layout.unit_offset(sg, segment)
+        end = now
+        blocks_left = nblocks
+        for idx in data_ssds:
+            in_unit = min(per_unit, blocks_left)
+            blocks_left -= in_unit
+            if in_unit == 0:
+                continue
+            # MS + data + ME: contiguous from the unit start; ME rides at
+            # the unit end so a full unit is written when the unit fills.
+            length = (1 + in_unit + 1) * PAGE_SIZE
+            if in_unit == per_unit:
+                length = self.layout.unit_blocks * PAGE_SIZE
+            if self._alive(idx):
+                end = max(end, self.ssds[idx].submit(
+                    Request(Op.WRITE, base, length), now))
+        if parity_ssd >= 0 and self._alive(parity_ssd):
+            # Parity covers the written rows of the stripe; units fill in
+            # order, so the first unit holds the row high-watermark.
+            rows = min(per_unit, nblocks)
+            length = (1 + rows + 1) * PAGE_SIZE
+            if rows == per_unit:
+                length = self.layout.unit_blocks * PAGE_SIZE
+            end = max(end, self.ssds[parity_ssd].submit(
+                Request(Op.WRITE, base, length), now))
+        return end
+
+    def _flush_ssds(self, now: float) -> float:
+        end = now
+        for idx, ssd in enumerate(self.ssds):
+            if self._alive(idx):
+                end = max(end, ssd.submit(Request(Op.FLUSH), now))
+        self.srcstats.flush_commands += 1
+        return end
+
+    # ------------------------------------------------------------------
+    def _alloc_segment(self, now: float) -> Tuple[int, int, float]:
+        """Reserve the next segment slot in the active SG."""
+        start = now
+        while self.active.next_segment >= self.layout.segments_per_group:
+            start = self._roll_group(start)
+        group = self.active
+        segment = group.next_segment
+        group.next_segment += 1
+        return group.index, segment, start
+
+    def _roll_group(self, now: float) -> float:
+        """Close the active SG and open a new one, reclaiming if needed.
+
+        Reclaim can itself write segments (S2S copies), which rolls the
+        group reentrantly and installs a fresh active SG; in that case
+        the outer roll must NOT take another group or the GC-opened one
+        would leak (neither active, closed, nor free).
+        """
+        rolled = self.active
+        if rolled.state is not _GroupState.CLOSED:
+            rolled.state = _GroupState.CLOSED
+            self._closed_fifo.append(rolled.index)
+        end = now
+        if not self._in_gc and len(self._free) < self.config.gc_free_low:
+            end = self._reclaim_until(self.config.gc_free_high, end)
+        if self.active is rolled:
+            self.active = self._take_free_group()
+        return end
+
+    # ==================================================================
+    # free space reclamation (§4.2)
+    # ==================================================================
+    def _pick_victim_sg(self) -> Optional[int]:
+        if not self._closed_fifo:
+            return None
+        if self.config.victim_policy is VictimPolicy.FIFO:
+            return self._closed_fifo[0]
+        if self.config.victim_policy is VictimPolicy.COST_BENEFIT:
+            return max(self._closed_fifo, key=self._cost_benefit_score)
+        return min(self._closed_fifo,
+                   key=lambda sg: self.mapping.sg_valid_count(sg))
+
+    def _cost_benefit_score(self, sg: int) -> float:
+        """LFS cost-benefit: age x (1 - u) / (1 + u), higher is better.
+
+        Age is measured in SG allocation epochs since the group was
+        opened; utilization is its valid fraction.
+        """
+        capacity = (self.layout.segments_per_group
+                    * self.layout.dirty_segment_capacity())
+        u = min(1.0, self.mapping.sg_valid_count(sg) / capacity)
+        age = max(1, self._sg_sequence - self.groups[sg].sequence)
+        return age * (1.0 - u) / (1.0 + u)
+
+    def _reclaim_until(self, target_free: int, now: float) -> float:
+        self._in_gc = True
+        try:
+            end = now
+            stalled = 0
+            while len(self._free) < target_free:
+                victim = self._pick_victim_sg()
+                if victim is None:
+                    break
+                before = len(self._free)
+                # S2S copies everything forward when a victim is fully
+                # hot/dirty, gaining no space; after two stalled victims
+                # fall back to S2D, which always frees (§4.2's UMAX bound
+                # exists for exactly this pressure regime).
+                end = self._collect_group(victim, end,
+                                          force_s2d=stalled >= 2)
+                stalled = stalled + 1 if len(self._free) <= before else 0
+            return end
+        finally:
+            self._in_gc = False
+
+    def _collect_group(self, victim: int, now: float,
+                       force_s2d: bool = False) -> float:
+        """Reclaim one segment group by S2D or Sel-GC rules."""
+        use_s2s = (not force_s2d
+                   and self.config.gc_scheme is GcScheme.SEL_GC
+                   and self.utilization() <= self.config.u_max)
+        blocks = self.mapping.sg_blocks(victim)
+        end = now
+        if use_s2s:
+            end = self._collect_s2s(victim, blocks, now)
+            self.srcstats.s2s_collections += 1
+        else:
+            end = self._collect_s2d(victim, blocks, now)
+            self.srcstats.s2d_collections += 1
+        # Everything left in the SG is dead now.
+        self.mapping.drop_sg(victim)
+        self.metadata.drop_group(victim)
+        end = max(end, self._trim_group(victim, end))
+        group = self.groups[victim]
+        group.state = _GroupState.FREE
+        group.next_segment = 0
+        self._closed_fifo.remove(victim)
+        self._free.insert(0, victim)
+        return end
+
+    def _collect_s2d(self, victim: int, blocks, now: float) -> float:
+        """Destage dirty blocks to primary storage; drop clean blocks."""
+        dirty_lbas = sorted(lba for lba, e in blocks if e.dirty)
+        end = self._destage(victim, dirty_lbas, now)
+        for lba, entry in blocks:
+            if not entry.dirty:
+                self.cstats.evicted_clean_blocks += 1
+                self.hotness.evict(lba)
+        return end
+
+    def _collect_s2s(self, victim: int, blocks, now: float) -> float:
+        """Copy dirty + hot clean blocks forward; drop cold clean ones.
+
+        The future-work ``separate_hot_clean`` option segregates hot
+        clean data from dirty data during the copy (§6): without it,
+        S2S-copied clean blocks travel through their own clean buffer
+        anyway (clean/dirty never mix in one segment), so the option
+        only changes the copy order, grouping clean blocks together to
+        improve the clustering of like data.
+        """
+        end = now
+        copy_list = []
+        for lba, entry in blocks:
+            if entry.dirty:
+                copy_list.append((lba, entry))
+            elif not self.config.hotness_aware:
+                copy_list.append((lba, entry))   # ablation: blind copy
+            elif self.hotness.is_hot(lba):
+                self.hotness.clear(lba)   # consume the second chance
+                copy_list.append((lba, entry))
+            else:
+                self.cstats.evicted_clean_blocks += 1
+                self.srcstats.gc_dropped_clean += 1
+                self.hotness.evict(lba)
+        # Only the blocks being kept need to be read off the victim.
+        read_end = self._bulk_read(victim, [lba for lba, _ in copy_list],
+                                   now)
+        if self.config.separate_hot_clean:
+            copy_list.sort(key=lambda item: item[1].dirty)
+        for lba, entry in copy_list:
+            dirty = entry.dirty
+            self.mapping.invalidate(lba)
+            buf = self.dirty_buf if dirty else self.clean_buf
+            if lba not in buf:
+                full = buf.add(lba)
+                self.srcstats.gc_copied_blocks += 1
+                if full:
+                    end = max(end, self._write_segment(dirty=dirty,
+                                                       now=read_end))
+        return max(end, read_end)
+
+    def _destage(self, victim: int, lbas: List[int], now: float) -> float:
+        """Write dirty blocks back to the origin, coalescing extents."""
+        if not lbas:
+            return now
+        read_end = self._bulk_read(victim, lbas, now)
+        end = read_end
+        run_start = prev = lbas[0]
+        for lba in lbas[1:] + [None]:
+            if lba is not None and lba == prev + 1:
+                prev = lba
+                continue
+            length = (prev - run_start + 1) * PAGE_SIZE
+            end = max(end, self.origin.submit(
+                Request(Op.WRITE, run_start * PAGE_SIZE, length), read_end))
+            if lba is not None:
+                run_start = prev = lba
+        self.srcstats.gc_destaged_blocks += len(lbas)
+        self.cstats.destaged_blocks += len(lbas)
+        return end
+
+    def _bulk_read(self, victim: int, lbas: List[int], now: float) -> float:
+        """Read a victim SG's valid blocks, merging contiguous spans."""
+        if not lbas:
+            return now
+        spans: Dict[int, List[int]] = {}
+        for lba in lbas:
+            entry = self.mapping.lookup(lba)
+            if entry is None:
+                continue
+            loc = entry.location
+            if not self._alive(loc.ssd):
+                continue
+            spans.setdefault(loc.ssd, []).append(loc.offset)
+        end = now
+        for ssd_idx, offsets in spans.items():
+            offsets.sort()
+            run_start = prev = offsets[0]
+            for off in offsets[1:] + [None]:
+                if off is not None and off == prev + PAGE_SIZE:
+                    prev = off
+                    continue
+                length = prev - run_start + PAGE_SIZE
+                end = max(end, self.ssds[ssd_idx].submit(
+                    Request(Op.READ, run_start, length), now))
+                if off is not None:
+                    run_start = prev = off
+        return end
+
+    def _trim_group(self, victim: int, now: float) -> float:
+        """TRIM the reclaimed SG so the FTLs know the space is dead."""
+        base = self.layout.unit_offset(victim, 0)
+        end = now
+        for idx, ssd in enumerate(self.ssds):
+            if self._alive(idx):
+                end = max(end, ssd.submit(Request(
+                    Op.TRIM, base, self.config.erase_group_size), now))
+        return end
+
+    # ==================================================================
+    # partial segments and flush handling (§4.1)
+    # ==================================================================
+    def _check_timeout(self, now: float) -> None:
+        """TWAIT expiry: persist a partial dirty segment."""
+        if (not self.dirty_buf.empty
+                and now - self._last_dirty_write > self.config.t_wait):
+            self.srcstats.timeout_flushes += 1
+            self._write_segment(dirty=True, now=now)
+            self._last_dirty_write = now
+
+    def flush_partial(self, now: float) -> float:
+        """Force out a partial dirty segment (timeout path, tests)."""
+        if self.dirty_buf.empty:
+            return now
+        self.srcstats.timeout_flushes += 1
+        return self._write_segment(dirty=True, now=now)
+
+    def handle_flush(self, now: float) -> float:
+        """Application flush: persist buffered dirty data durably.
+
+        Unlike write-through caches, SRC does NOT propagate the flush to
+        primary storage: the segment bundles data, metadata and parity,
+        which is the durability contract (§2.2, Qin et al. comparison).
+        """
+        end = now
+        if not self.dirty_buf.empty:
+            end = self._write_segment(dirty=True, now=now)
+        return self._flush_ssds(end)
+
+    def handle_trim(self, req: Request, now: float) -> float:
+        for block in req.pages():
+            self.mapping.invalidate(block)
+            self.dirty_buf.remove(block)
+            self.clean_buf.remove(block)
+            self.staging.pop(block)
+            self.hotness.evict(block)
+        return now
+
+    # ==================================================================
+    # drive failure / replacement (§4.1 failure handling, §6 scaling)
+    # ==================================================================
+    def rebuild_ssd(self, ssd_idx: int, now: float) -> float:
+        """Reconstruct a replaced SSD's cache contents from parity.
+
+        Walks every closed/active SG; for parity-protected segments the
+        lost unit is recomputed from the surviving units and written to
+        the replacement.  Non-parity segments (NPC clean) lose their
+        blocks, which are dropped from the mapping (a later read
+        re-fetches from primary storage).
+        """
+        if not self._alive(ssd_idx):
+            raise RaidDegradedError("replace/repair the SSD before rebuild")
+        end = now
+        for summary in self.metadata.all_summaries():
+            base = self.layout.unit_offset(summary.sg, summary.segment)
+            length = self.layout.unit_blocks * PAGE_SIZE
+            involved = (self.layout.data_ssds(summary.sg, summary.segment,
+                                              summary.with_parity)
+                        + ([self.layout.parity_ssd(summary.sg,
+                                                   summary.segment)]
+                           if summary.with_parity else []))
+            if ssd_idx not in involved:
+                continue
+            if summary.with_parity:
+                step = now
+                for other in involved:
+                    if other != ssd_idx and self._alive(other):
+                        step = max(step, self.ssds[other].submit(
+                            Request(Op.READ, base, length), now))
+                end = max(end, self.ssds[ssd_idx].submit(
+                    Request(Op.WRITE, base, length), step))
+            else:
+                for lba, entry in self.mapping.sg_blocks(summary.sg):
+                    if (entry.location.segment == summary.segment
+                            and entry.location.ssd == ssd_idx):
+                        self.mapping.invalidate(lba)
+                        self.hotness.evict(lba)
+        return end

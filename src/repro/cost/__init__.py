@@ -1,0 +1,2 @@
+"""Cost-effectiveness model: product sheets (Tables 4/12) and the
+endurance-budget lifetime estimation behind Figure 6."""

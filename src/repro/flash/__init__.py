@@ -1,0 +1,1 @@
+"""NAND flash substrate: geometry, timings, chip-level model."""

@@ -1,0 +1,113 @@
+"""A single NAND flash chip with physical-constraint enforcement.
+
+This is the lowest substrate layer: it enforces the rules the FTL above
+must respect — a page must be erased before it is programmed, pages
+within a block are programmed in order, erases happen at block
+granularity, and every erase ages the block.  The FTL-level SSD model
+(:mod:`repro.ssd`) aggregates many of these; unit and property tests
+validate the constraint logic here directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import AddressError, ReproError
+from repro.flash.geometry import NandGeometry
+from repro.flash.timing import NandTiming
+
+
+class ProgramError(ReproError):
+    """A NAND programming constraint was violated."""
+
+
+class PageState(enum.Enum):
+    ERASED = "erased"
+    PROGRAMMED = "programmed"
+
+
+@dataclass
+class Block:
+    """One erase block: page states, write pointer, wear counter."""
+
+    pages: int
+    next_page: int = 0
+    erase_count: int = 0
+    data: Dict[int, object] = field(default_factory=dict)
+
+    def state(self, page: int) -> PageState:
+        return (PageState.PROGRAMMED if page < self.next_page
+                else PageState.ERASED)
+
+    @property
+    def full(self) -> bool:
+        return self.next_page >= self.pages
+
+
+class NandChip:
+    """One chip: ``dies x planes x blocks`` of :class:`Block`."""
+
+    def __init__(self, geometry: NandGeometry, timing: NandTiming):
+        self.geometry = geometry
+        self.timing = timing
+        nblocks = (geometry.dies_per_chip * geometry.planes_per_die
+                   * geometry.blocks_per_plane)
+        self.blocks: List[Block] = [
+            Block(geometry.pages_per_block) for _ in range(nblocks)
+        ]
+        self.reads = 0
+        self.programs = 0
+        self.erases = 0
+
+    def _block(self, block: int) -> Block:
+        if not 0 <= block < len(self.blocks):
+            raise AddressError(f"block {block} out of range")
+        return self.blocks[block]
+
+    def program(self, block: int, page: int, payload: object = None) -> float:
+        """Program ``page`` of ``block``; returns the operation latency.
+
+        NAND constraint: pages in a block must be programmed strictly in
+        order, and only after an erase.
+        """
+        blk = self._block(block)
+        if page != blk.next_page:
+            raise ProgramError(
+                f"out-of-order program: block {block} expects page "
+                f"{blk.next_page}, got {page}")
+        if blk.full:
+            raise ProgramError(f"block {block} is full")
+        blk.data[page] = payload
+        blk.next_page += 1
+        self.programs += 1
+        return self.timing.t_prog
+
+    def read(self, block: int, page: int) -> "tuple[object, float]":
+        """Read a programmed page; returns (payload, latency)."""
+        blk = self._block(block)
+        if blk.state(page) is not PageState.PROGRAMMED:
+            raise ProgramError(
+                f"reading erased page {page} of block {block}")
+        self.reads += 1
+        return blk.data.get(page), self.timing.t_read
+
+    def erase(self, block: int) -> float:
+        """Erase a whole block; returns the operation latency."""
+        blk = self._block(block)
+        blk.next_page = 0
+        blk.data.clear()
+        blk.erase_count += 1
+        self.erases += 1
+        return self.timing.t_erase
+
+    def wear(self, block: int) -> int:
+        return self._block(block).erase_count
+
+    def worn_out(self, block: int) -> bool:
+        """Whether the block has exceeded its rated endurance."""
+        return self._block(block).erase_count >= self.timing.endurance
+
+    def max_wear(self) -> int:
+        return max(blk.erase_count for blk in self.blocks)

@@ -1,0 +1,83 @@
+"""NAND flash geometry (paper §2.1).
+
+Cells are organised into pages (read/program unit), pages into blocks
+(erase unit), blocks into planes, planes into dies, dies into packages
+(SDP/DDP/QDP), packages onto channels.  The FTL-level simulator mostly
+cares about aggregate parallelism and the *superblock* (erase group)
+size, but the full geometry is modelled so chip-level behaviour (erase
+before program, sequential in-block programming) can be exercised and
+tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.units import KIB
+
+
+@dataclass(frozen=True)
+class NandGeometry:
+    """Physical organisation of one SSD's flash array."""
+
+    page_size: int = 8 * KIB
+    pages_per_block: int = 256
+    blocks_per_plane: int = 1024
+    planes_per_die: int = 2
+    dies_per_chip: int = 2        # DDP
+    chips_per_channel: int = 2
+    channels: int = 8
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("page_size", self.page_size),
+            ("pages_per_block", self.pages_per_block),
+            ("blocks_per_plane", self.blocks_per_plane),
+            ("planes_per_die", self.planes_per_die),
+            ("dies_per_chip", self.dies_per_chip),
+            ("chips_per_channel", self.chips_per_channel),
+            ("channels", self.channels),
+        ):
+            if value <= 0:
+                raise ConfigError(f"{name} must be positive, got {value}")
+
+    @property
+    def block_size(self) -> int:
+        return self.page_size * self.pages_per_block
+
+    @property
+    def plane_size(self) -> int:
+        return self.block_size * self.blocks_per_plane
+
+    @property
+    def die_size(self) -> int:
+        return self.plane_size * self.planes_per_die
+
+    @property
+    def chip_size(self) -> int:
+        return self.die_size * self.dies_per_chip
+
+    @property
+    def total_chips(self) -> int:
+        return self.chips_per_channel * self.channels
+
+    @property
+    def raw_capacity(self) -> int:
+        return self.chip_size * self.total_chips
+
+    @property
+    def parallel_units(self) -> int:
+        """Independently programmable units (channel x chip x plane)."""
+        return (self.channels * self.chips_per_channel
+                * self.dies_per_chip * self.planes_per_die)
+
+    @property
+    def erase_stripe_size(self) -> int:
+        """Bytes erased when one block on every parallel unit is erased.
+
+        This is the hardware quantity behind the paper's *erase group
+        size*: writes of at least this size, aligned to it, let the FTL
+        retire whole block stripes without copying.
+        """
+        return self.block_size * self.parallel_units

@@ -1,0 +1,59 @@
+"""NAND operation timings for the flash classes the paper uses.
+
+Values are representative of 2x-nm NAND of the period (paper §2.1 and
+its SSD spec table): MLC programs faster and endures ~3K P/E cycles;
+TLC is slower and endures ~1K.  ``interface`` timings live with the SSD
+configuration, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.units import MSEC, USEC
+
+
+@dataclass(frozen=True)
+class NandTiming:
+    """Per-operation latencies of one flash die."""
+
+    t_read: float          # page read to register
+    t_prog: float          # page program from register
+    t_erase: float         # block erase
+    t_xfer_per_byte: float  # channel transfer time per byte
+    endurance: int         # rated P/E cycles per block
+
+    def __post_init__(self) -> None:
+        if min(self.t_read, self.t_prog, self.t_erase) <= 0:
+            raise ConfigError("NAND timings must be positive")
+        if self.endurance <= 0:
+            raise ConfigError("endurance must be positive")
+
+
+# ~2013-2015 era 2-bit MLC (Samsung 840 Pro class).
+MLC_TIMING = NandTiming(
+    t_read=60 * USEC,
+    t_prog=600 * USEC,
+    t_erase=3 * MSEC,
+    t_xfer_per_byte=1 / (400e6),   # 400 MB/s ONFI channel
+    endurance=3000,
+)
+
+# 3-bit TLC (840 EVO class): slower program, lower endurance.
+TLC_TIMING = NandTiming(
+    t_read=80 * USEC,
+    t_prog=900 * USEC,
+    t_erase=4 * MSEC,
+    t_xfer_per_byte=1 / (400e6),
+    endurance=1000,
+)
+
+# NVMe enterprise MLC: same flash class, more channels compensate.
+NVME_MLC_TIMING = NandTiming(
+    t_read=50 * USEC,
+    t_prog=550 * USEC,
+    t_erase=3 * MSEC,
+    t_xfer_per_byte=1 / (533e6),
+    endurance=3000,
+)

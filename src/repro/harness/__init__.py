@@ -1,0 +1,3 @@
+"""Experiment harness: one module per reproduced table/figure
+(exp_*), shared builders (context), result rendering (results),
+and the EXPERIMENTS.md report generator (report)."""

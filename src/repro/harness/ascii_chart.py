@@ -1,0 +1,65 @@
+"""Terminal bar charts for experiment output.
+
+The paper presents Figures 1 and 4-7 as grouped bar charts; these
+helpers render the same shape in plain text so reports and examples
+can show it without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.common.errors import ConfigError
+
+BLOCKS = "▏▎▍▌▋▊▉█"
+
+
+def hbar(value: float, max_value: float, width: int = 40) -> str:
+    """One horizontal bar scaled to ``max_value``."""
+    if max_value <= 0:
+        raise ConfigError("max_value must be positive")
+    value = max(0.0, min(value, max_value))
+    cells = value / max_value * width
+    full = int(cells)
+    frac = cells - full
+    bar = "█" * full
+    if frac > 0 and full < width:
+        bar += BLOCKS[int(frac * len(BLOCKS))]
+    return bar
+
+
+def bar_chart(series: Dict[str, float], width: int = 40,
+              unit: str = "") -> str:
+    """A labelled horizontal bar chart, one row per entry."""
+    if not series:
+        return "(no data)"
+    label_w = max(len(k) for k in series)
+    top = max(series.values()) or 1.0
+    lines = []
+    for label, value in series.items():
+        bar = hbar(value, top, width)
+        lines.append(f"{label:<{label_w}}  {bar} {value:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(groups: Sequence[str],
+                      series: Dict[str, List[float]],
+                      width: int = 30, unit: str = "") -> str:
+    """Grouped bars: one block per group, one bar per series entry.
+
+    Mirrors the paper's figure layout (x-axis groups Write/Mixed/Read,
+    one bar per scheme).
+    """
+    lengths = {len(values) for values in series.values()}
+    if lengths != {len(groups)}:
+        raise ConfigError("every series needs one value per group")
+    top = max(max(values) for values in series.values()) or 1.0
+    label_w = max(len(k) for k in series)
+    lines = []
+    for gi, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for label, values in series.items():
+            bar = hbar(values[gi], top, width)
+            lines.append(f"  {label:<{label_w}}  {bar} "
+                         f"{values[gi]:.1f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Figure 1: Bcache and Flashcache over RAID-0/1/4/5 SSD arrays.
+
+FIO 4 KiB uniform-random writes, write-back policy, four SSDs under
+each RAID level.  The paper's findings this experiment establishes:
+RAID-0 fastest (no redundancy), RAID-1 roughly halved, parity RAID
+hurts Flashcache (read-modify-write) more than log-structured Bcache.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import WritePolicy
+from repro.harness.context import (CACHE_SPACE, DEFAULT_SCALE,
+                                   ExperimentScale, build_bcache,
+                                   build_flashcache)
+from repro.harness.results import ExperimentResult
+from repro.harness.runner import run_fio_random_write
+
+RAID_LEVELS = (0, 1, 4, 5)
+
+
+def run(es: ExperimentScale = DEFAULT_SCALE) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="Figure 1",
+        title="Bcache/Flashcache write-back on RAID levels, FIO 4KB "
+              "random write (MB/s)",
+        columns=["Cache", "RAID-0", "RAID-1", "RAID-4", "RAID-5"],
+    )
+    span = int(CACHE_SPACE * es.scale)
+    for name, builder in (("Bcache", build_bcache),
+                          ("Flashcache", build_flashcache)):
+        rates = []
+        for level in RAID_LEVELS:
+            target = builder(es.scale, raid_level=level,
+                             policy=WritePolicy.WRITE_BACK)
+            rates.append(run_fio_random_write(target, es, span=span))
+        result.add_row(name, *rates)
+    result.notes.append("paper shape: RAID-0 best; RAID-1 ~half; "
+                        "parity RAID hurts Flashcache more than Bcache")
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,43 @@
+"""Figure 5: the UMAX threshold of Sel-GC.
+
+Sweeps UMAX (the utilization bound below which Sel-GC uses S2S
+copying).  Paper shape: throughput rises with UMAX, peaks around 90%,
+and drops past it; I/O amplification increases monotonically with
+UMAX.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import GcScheme, SrcConfig
+from repro.harness.context import (CACHE_SPACE, DEFAULT_SCALE,
+                                   ExperimentScale, build_src)
+from repro.harness.results import ExperimentResult
+from repro.harness.runner import TRACE_GROUPS, run_trace_group
+
+UMAX_LEVELS = (0.30, 0.50, 0.70, 0.90, 0.95)
+
+
+def run(es: ExperimentScale = DEFAULT_SCALE,
+        levels=UMAX_LEVELS) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="Figure 5",
+        title="Sel-GC UMAX sweep: throughput MB/s (I/O amplification)",
+        columns=["Group"] + [f"{int(u * 100)}%" for u in levels],
+    )
+    for group in TRACE_GROUPS:
+        row = [group]
+        for u_max in levels:
+            config = SrcConfig(cache_space=CACHE_SPACE,
+                               gc_scheme=GcScheme.SEL_GC, u_max=u_max)
+            cache = build_src(es.scale, config=config)
+            res = run_trace_group(cache, group, es)
+            row.append(f"{res.throughput_mb_s:.1f} "
+                       f"({res.io_amplification:.2f})")
+        result.add_row(*row)
+    result.notes.append("paper shape: peak near UMAX=90%, amplification "
+                        "grows with UMAX")
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,77 @@
+"""Figure 6: cost-effectiveness of SATA RAID-5 SRCs vs a single NVMe.
+
+Runs the trace groups over SRC configured with each Table 12 product:
+the four-drive SATA sets as RAID-5, the NVMe drive alone without
+parity.  Reports the four panels: (a) throughput, (b) lifetime days,
+(c) MB/s per dollar, (d) lifetime days per dollar.
+
+Paper shape: MLC beats TLC raw; TLC generally wins MB/s/$; MLC always
+wins lifetime/$; the NVMe is (slightly) fastest but RAID-5 SATA sets
+win lifetime and lifetime/$ — and are not fail-stop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.config import SrcConfig
+from repro.cost.lifetime import (CostEffectiveness, PAPER_DAILY_WRITES,
+                                 flash_waf, lifetime_days)
+from repro.cost.products import PRODUCT_ORDER, PRODUCTS, Product
+from repro.harness.context import (CACHE_SPACE, DEFAULT_SCALE,
+                                   ExperimentScale, build_origin,
+                                   build_src, build_ssds)
+from repro.harness.results import ExperimentResult
+from repro.harness.runner import TRACE_GROUPS, run_trace_group
+
+
+def _config_for(product: Product) -> SrcConfig:
+    if product.n_units == 1:
+        return SrcConfig(n_ssds=1, raid_level=0, cache_space=CACHE_SPACE)
+    return SrcConfig(n_ssds=product.n_units, raid_level=5,
+                     cache_space=CACHE_SPACE)
+
+
+def measure(product: Product, group: str,
+            es: ExperimentScale) -> CostEffectiveness:
+    config = _config_for(product)
+    ssds = build_ssds(es.scale, n=product.n_units, spec=product.spec)
+    cache = build_src(es.scale, config=config, ssds=ssds,
+                      origin=build_origin(), spec=product.spec)
+    res = run_trace_group(cache, group, es)
+    programmed = sum(s.bytes_programmed for s in ssds)
+    app_writes = max(1, cache.stats.write_bytes)
+    waf = flash_waf(app_writes, programmed)
+    life = lifetime_days(product.total_capacity, product.endurance, waf,
+                         PAPER_DAILY_WRITES)
+    return CostEffectiveness(
+        product=product.key, workload=group,
+        throughput_mb_s=res.throughput_mb_s,
+        set_cost_usd=product.set_cost_usd,
+        lifetime_days=life,
+    )
+
+
+def run(es: ExperimentScale = DEFAULT_SCALE) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="Figure 6",
+        title="Cost-effectiveness: MB/s | days | (MB/s)/$ | days/$",
+        columns=["Product"] + list(TRACE_GROUPS),
+    )
+    cells: Dict[str, List[str]] = {key: [] for key in PRODUCT_ORDER}
+    for group in TRACE_GROUPS:
+        for key in PRODUCT_ORDER:
+            ce = measure(PRODUCTS[key], group, es)
+            cells[key].append(
+                f"{ce.throughput_mb_s:.0f} | {ce.lifetime_days:.0f} | "
+                f"{ce.perf_per_dollar:.3f} | {ce.lifetime_per_dollar:.2f}")
+    for key in PRODUCT_ORDER:
+        result.add_row(key, *cells[key])
+    result.notes.append("paper shape: MLC > TLC raw perf; TLC better "
+                        "MB/s/$; MLC better days/$; NVMe fastest but "
+                        "worst lifetime/$ and fail-stop")
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,38 @@
+"""Table 6: trace-set characteristics.
+
+Validates that the synthetic stand-ins reproduce the published per-
+trace characteristics: mean request size and read ratio (measured over
+a sample of generated requests), plus the configured footprints.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.common.units import GB, KB
+from repro.harness.context import DEFAULT_SCALE, ExperimentScale
+from repro.harness.results import ExperimentResult
+from repro.workloads.msr import TRACES, SyntheticTrace
+
+
+def run(es: ExperimentScale = DEFAULT_SCALE,
+        sample: int = 4000) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="Table 6",
+        title="Trace characteristics: spec vs synthesized "
+              "(request KB, read ratio)",
+        columns=["Trace", "Group", "Spec KB", "Meas KB",
+                 "Spec R%", "Meas R%"],
+    )
+    for spec in TRACES.values():
+        trace = SyntheticTrace(spec, scale=1 / 256, seed=es.seed)
+        reqs = list(itertools.islice(trace.requests(), sample))
+        mean_kb = sum(r.length for r in reqs) / len(reqs) / KB
+        read_pct = 100 * sum(r.op.value == "read" for r in reqs) / len(reqs)
+        result.add_row(spec.name, spec.group, spec.req_size_kb, mean_kb,
+                       100 * spec.read_ratio, read_pct)
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,59 @@
+"""Tables 4 and 12: the product sheets and their derived economics.
+
+These tables are input data in the paper; reproducing them means
+rendering the data set the other experiments consume and verifying the
+paper's own derived numbers (GB/$ in Table 12).
+"""
+
+from __future__ import annotations
+
+from repro.common.units import GB
+from repro.cost.products import PRODUCT_ORDER, PRODUCTS, TABLE4
+from repro.harness.results import ExperimentResult
+
+
+def run_table4() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="Table 4",
+        title="Storage device comparison (vendor specs)",
+        columns=["Family", "Interface", "GB", "Price$",
+                 "SR MB/s", "SW MB/s", "RR K", "RW K"],
+    )
+    for row in TABLE4:
+        result.add_row(row.family, row.interface, row.capacity_gb,
+                       row.price_usd, row.seq_read_mb, row.seq_write_mb,
+                       row.rand_read_kiops, row.rand_write_kiops)
+    return result
+
+
+def run_table12() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="Table 12",
+        title="SATA and NVMe SSD sets (Figure 6 contenders)",
+        columns=["Product", "NAND", "Endurance", "Capacity GB",
+                 "Cost$", "GB/$", "Year"],
+    )
+    for key in PRODUCT_ORDER:
+        p = PRODUCTS[key]
+        result.add_row(key, p.nand, p.endurance,
+                       round(p.total_capacity / GB), p.set_cost_usd,
+                       p.gb_per_dollar, p.year)
+    result.notes.append("paper GB/$: 1.22 / 1.76 / 1.36 / 2.27 / 0.85")
+    return result
+
+
+def run() -> ExperimentResult:
+    # Combined render for the harness entry point.
+    t4, t12 = run_table4(), run_table12()
+    combined = ExperimentResult(
+        experiment="Tables 4+12", title="Product data",
+        columns=["Section"], rows=[], notes=[])
+    combined.notes.append(t4.render())
+    combined.notes.append(t12.render())
+    return combined
+
+
+if __name__ == "__main__":
+    print(run_table4().render())
+    print()
+    print(run_table12().render())

@@ -1,0 +1,60 @@
+"""Supplementary: SRC vs its ancestor DM-Writeboost.
+
+Not a paper table — the paper only notes (§5.1) that SRC was built by
+modifying DM-Writeboost ("thousands of lines of code").  This
+experiment quantifies what those changes bought: Writeboost deployed
+the way an admin would put it on the same hardware (its single cache
+device is the 4-SSD array as RAID-0) against SRC's cache-level
+integration (erase-group alignment, clean-data caching, Sel-GC).
+
+Two structural advantages of SRC should show: Writeboost is a *write*
+cache (read misses are never cached, so read-heavy groups pay full
+backend latency), and its small segments are not erase-group aligned.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.writeboost import WriteboostDevice
+from repro.common.units import KIB
+from repro.core.config import SrcConfig
+from repro.harness.context import (CACHE_SPACE, DEFAULT_SCALE,
+                                   ExperimentScale, build_cache_window,
+                                   build_origin, build_src)
+from repro.harness.results import ExperimentResult
+from repro.harness.runner import TRACE_GROUPS, run_trace_group
+
+
+def build_writeboost(es: ExperimentScale) -> WriteboostDevice:
+    window, _ = build_cache_window(es.scale, raid_level=0)
+    return WriteboostDevice(window, build_origin(),
+                            segment_size=512 * KIB,
+                            migrate_threshold=0.7)
+
+
+def run(es: ExperimentScale = DEFAULT_SCALE) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="Supplementary",
+        title="SRC vs DM-Writeboost (its code ancestor): MB/s | hit",
+        columns=["Scheme"] + list(TRACE_GROUPS),
+    )
+    rows = {"Writeboost(R0)": [], "SRC": []}
+    for group in TRACE_GROUPS:
+        wb = build_writeboost(es)
+        res = run_trace_group(wb, group, es)
+        rows["Writeboost(R0)"].append(
+            f"{res.throughput_mb_s:.1f} | {res.hit_ratio:.2f}")
+        src = build_src(es.scale, SrcConfig(cache_space=CACHE_SPACE))
+        res = run_trace_group(src, group, es)
+        rows["SRC"].append(
+            f"{res.throughput_mb_s:.1f} | {res.hit_ratio:.2f}")
+    for scheme, cells in rows.items():
+        result.add_row(scheme, *cells)
+    result.notes.append("expected: SRC ahead on the Read group "
+                        "(Writeboost never caches reads); Writeboost is "
+                        "competitive on pure writes (RAID-0 log, no "
+                        "parity or clean-data upkeep)")
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,69 @@
+"""Experiment result containers and plain-text rendering.
+
+Each experiment module returns an :class:`ExperimentResult` whose rows
+mirror the corresponding table or figure series in the paper, so the
+benchmark harness can print paper-shaped output and assert on shape
+properties (orderings, rough factors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one reproduced table/figure."""
+
+    experiment: str                    # e.g. "Table 8", "Figure 7a"
+    title: str
+    columns: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"{self.experiment}: row has {len(values)} values for "
+                f"{len(self.columns)} columns")
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> List[object]:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def cell(self, row_key: object, column: str) -> object:
+        """Value at (first column == row_key, column)."""
+        col = self.columns.index(column)
+        for row in self.rows:
+            if row[0] == row_key:
+                return row[col]
+        raise KeyError(f"{self.experiment}: no row {row_key!r}")
+
+    def render(self) -> str:
+        """Monospace table, paper-style."""
+        def fmt(value: object) -> str:
+            if isinstance(value, float):
+                return f"{value:.2f}"
+            return str(value)
+
+        header = [self.title, ""]
+        widths = [len(c) for c in self.columns]
+        str_rows = [[fmt(v) for v in row] for row in self.rows]
+        for row in str_rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        line = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        header.append(line)
+        header.append("-" * len(line))
+        for row in str_rows:
+            header.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            header.append(f"note: {note}")
+        return "\n".join(header)
+
+
+def ratio(a: float, b: float) -> float:
+    """a/b guarded against division by zero."""
+    return a / b if b else float("inf")

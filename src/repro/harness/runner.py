@@ -1,0 +1,81 @@
+"""Run helpers shared by the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.baselines.common import CacheTarget
+from repro.block.device import BlockDevice
+from repro.common.types import Op, Request
+from repro.common.units import KIB, mb_per_sec
+from repro.harness.context import ExperimentScale
+from repro.sim.engine import run_streams
+from repro.workloads import fio
+from repro.workloads.replay import ReplayResult, replay_group
+
+TRACE_GROUPS = ("write", "mixed", "read")
+
+
+def run_trace_group(target: CacheTarget, group: str,
+                    es: ExperimentScale) -> ReplayResult:
+    """Replay one Table 6 trace group with the preset's windows."""
+    return replay_group(target, group, scale=es.scale,
+                        duration=es.duration, warmup=es.warmup,
+                        seed=es.seed)
+
+
+def run_all_groups(build: Callable[[], CacheTarget],
+                   es: ExperimentScale) -> Dict[str, ReplayResult]:
+    """Fresh stack per group, as the paper runs each group separately."""
+    results = {}
+    for group in TRACE_GROUPS:
+        target = build()
+        results[group] = run_trace_group(target, group, es)
+    return results
+
+
+def run_fio_random_write(device: BlockDevice, es: ExperimentScale,
+                         span: Optional[int] = None,
+                         request_size: int = 4 * KIB,
+                         iodepth: int = 0, threads: int = 0,
+                         flush_every: int = 0) -> float:
+    """The paper's FIO setting; returns write MB/s.
+
+    4 KiB uniform-random writes, iodepth 32, 4 threads (§3.1) unless
+    the scale preset narrows them.
+    """
+    iodepth = iodepth or es.fio_iodepth
+    threads = threads or es.fio_threads
+    span = span or device.size
+    streams = fio.fio_job_streams(span, request_size, Op.WRITE,
+                                  iodepth=iodepth, threads=threads,
+                                  seed=es.seed)
+    if flush_every:
+        streams = [
+            fio.uniform_random(span, request_size, Op.WRITE,
+                               seed=es.seed * 1000 + i,
+                               flush_every=flush_every)
+            for i in range(iodepth * threads)
+        ]
+
+    def issue(req: Request, now: float) -> float:
+        return device.submit(req, now)
+
+    run = run_streams(issue, streams, duration=es.warmup + es.duration)
+    return mb_per_sec(run.stats.write_bytes, run.elapsed)
+
+
+def run_fio_sequential_write(device: BlockDevice, es: ExperimentScale,
+                             span: Optional[int] = None,
+                             request_size: int = 128 * KIB,
+                             flush_every_bytes: int = 0) -> float:
+    """Single sequential writer; returns write MB/s."""
+    span = span or device.size
+    stream = fio.sequential(span, request_size, Op.WRITE,
+                            flush_every_bytes=flush_every_bytes)
+
+    def issue(req: Request, now: float) -> float:
+        return device.submit(req, now)
+
+    run = run_streams(issue, [stream], duration=es.duration + es.warmup)
+    return mb_per_sec(run.stats.write_bytes, run.elapsed)

@@ -1,0 +1,1 @@
+"""Primary storage substrate: mechanical disks, RAID-10, iSCSI."""

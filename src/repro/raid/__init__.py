@@ -1,0 +1,1 @@
+"""Software RAID-0/1/4/5 over simulated block devices."""

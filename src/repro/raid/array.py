@@ -1,0 +1,318 @@
+"""Software RAID over simulated block devices (md analogue).
+
+Implements the RAID levels the paper evaluates beneath Bcache and
+Flashcache (Figure 1, Figure 7) and inside SRC comparisons: RAID-0
+striping, RAID-1 striped mirrors, and parity RAID-4/-5 with the classic
+small-write problem — partial-stripe writes pay read-modify-write or
+reconstruct-write, whichever touches fewer members (§2.2, §3.2).
+
+Parity-level arrays survive a single member failure: reads of the lost
+member are reconstructed from the surviving members, and a replacement
+can be rebuilt online.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.block.device import BlockDevice
+from repro.common.errors import ConfigError, RaidDegradedError
+from repro.common.types import Op, Request
+from repro.common.units import KIB
+
+
+@dataclass(frozen=True)
+class _Extent:
+    """A chunk-aligned piece of a request mapped onto one stripe."""
+
+    stripe: int       # stripe row index
+    chunk: int        # logical data-chunk index within the stripe
+    offset: int       # byte offset within the chunk
+    length: int
+
+
+class _RaidBase(BlockDevice):
+    """Shared geometry/splitting logic for striped arrays."""
+
+    def __init__(self, members: List[BlockDevice], data_members: int,
+                 chunk_size: int, name: str):
+        if chunk_size <= 0:
+            raise ConfigError("chunk_size must be positive")
+        member_size = min(m.size for m in members)
+        super().__init__(member_size * data_members, name)
+        self.members = members
+        self.member_size = member_size
+        self.data_members = data_members
+        self.chunk_size = chunk_size
+        self.stripes = member_size // chunk_size
+
+    def _extents(self, req: Request) -> Iterator[_Extent]:
+        offset, remaining = req.offset, req.length
+        while remaining > 0:
+            logical_chunk = offset // self.chunk_size
+            within = offset % self.chunk_size
+            take = min(self.chunk_size - within, remaining)
+            yield _Extent(
+                stripe=logical_chunk // self.data_members,
+                chunk=logical_chunk % self.data_members,
+                offset=within,
+                length=take,
+            )
+            offset += take
+            remaining -= take
+
+    def _flush_all(self, now: float) -> float:
+        return max(m.submit(Request(Op.FLUSH), now) for m in self.members
+                   if not getattr(m, "failed", False))
+
+
+class Raid0Device(_RaidBase):
+    """Striping, no redundancy: full aggregate capacity and bandwidth."""
+
+    def __init__(self, members: List[BlockDevice], chunk_size: int = 4 * KIB,
+                 name: str = "raid0"):
+        if len(members) < 2:
+            raise ConfigError("RAID-0 needs >=2 members")
+        super().__init__(members, len(members), chunk_size, name)
+
+    def _service(self, req: Request, now: float) -> float:
+        if req.op is Op.FLUSH:
+            return self._flush_all(now)
+        end = now
+        for ext in self._extents(req):
+            member = self.members[ext.chunk]
+            off = ext.stripe * self.chunk_size + ext.offset
+            sub = Request(req.op, off, ext.length, fua=req.fua)
+            end = max(end, member.submit(sub, now))
+        return end
+
+
+class Raid1Device(_RaidBase):
+    """Striped mirrors (the paper's 4-SSD RAID-1: capacity = N/2)."""
+
+    def __init__(self, members: List[BlockDevice], chunk_size: int = 4 * KIB,
+                 name: str = "raid1"):
+        if len(members) < 2 or len(members) % 2:
+            raise ConfigError("RAID-1 needs an even number (>=2) of members")
+        super().__init__(members, len(members) // 2, chunk_size, name)
+        self._read_toggle = 0
+
+    def _pair(self, chunk: int) -> Tuple[BlockDevice, BlockDevice]:
+        return self.members[2 * chunk], self.members[2 * chunk + 1]
+
+    def _service(self, req: Request, now: float) -> float:
+        if req.op is Op.FLUSH:
+            return self._flush_all(now)
+        end = now
+        for ext in self._extents(req):
+            mirror_a, mirror_b = self._pair(ext.chunk)
+            off = ext.stripe * self.chunk_size + ext.offset
+            sub = Request(req.op, off, ext.length, fua=req.fua)
+            if req.op is Op.READ:
+                alive = [m for m in (mirror_a, mirror_b)
+                         if not getattr(m, "failed", False)]
+                if not alive:
+                    raise RaidDegradedError(
+                        f"{self.name}: both mirrors of chunk dead")
+                self._read_toggle ^= 1
+                end = max(end, alive[self._read_toggle % len(alive)]
+                          .submit(sub, now))
+            else:
+                wrote = False
+                for mirror in (mirror_a, mirror_b):
+                    if not getattr(mirror, "failed", False):
+                        end = max(end, mirror.submit(sub, now))
+                        wrote = True
+                if not wrote and req.op is Op.WRITE:
+                    raise RaidDegradedError(
+                        f"{self.name}: both mirrors of chunk dead")
+        return end
+
+
+class _ParityRaid(_RaidBase):
+    """Common machinery for RAID-4 and RAID-5."""
+
+    def __init__(self, members: List[BlockDevice], chunk_size: int,
+                 name: str):
+        if len(members) < 3:
+            raise ConfigError("parity RAID needs >=3 members")
+        super().__init__(members, len(members) - 1, chunk_size, name)
+        # Metrics the experiments report on: extra I/O from parity upkeep.
+        self.parity_writes = 0
+        self.rmw_reads = 0
+
+    def _parity_member(self, stripe: int) -> int:
+        raise NotImplementedError
+
+    def _data_member(self, stripe: int, chunk: int) -> int:
+        """Physical member index holding data chunk ``chunk`` of ``stripe``."""
+        parity = self._parity_member(stripe)
+        return chunk if chunk < parity else chunk + 1
+
+    def _alive(self, index: int) -> bool:
+        return not getattr(self.members[index], "failed", False)
+
+    def _failed_members(self) -> List[int]:
+        return [i for i in range(len(self.members)) if not self._alive(i)]
+
+    # ------------------------------------------------------------------
+    def _service(self, req: Request, now: float) -> float:
+        if req.op is Op.FLUSH:
+            return max(m.submit(Request(Op.FLUSH), now)
+                       for i, m in enumerate(self.members) if self._alive(i))
+        if req.op is Op.READ:
+            return self._read(req, now)
+        if req.op is Op.TRIM:
+            return self._trim(req, now)
+        return self._write(req, now)
+
+    def _read(self, req: Request, now: float) -> float:
+        failed = self._failed_members()
+        if len(failed) > 1:
+            raise RaidDegradedError(f"{self.name}: {len(failed)} members down")
+        end = now
+        for ext in self._extents(req):
+            member_idx = self._data_member(ext.stripe, ext.chunk)
+            off = ext.stripe * self.chunk_size + ext.offset
+            if self._alive(member_idx):
+                sub = Request(Op.READ, off, ext.length)
+                end = max(end, self.members[member_idx].submit(sub, now))
+            else:
+                # Degraded read: reconstruct from all surviving members.
+                sub = Request(Op.READ, ext.stripe * self.chunk_size,
+                              self.chunk_size)
+                for i, member in enumerate(self.members):
+                    if i != member_idx:
+                        end = max(end, member.submit(sub, now))
+        return end
+
+    def _write(self, req: Request, now: float) -> float:
+        failed = self._failed_members()
+        if len(failed) > 1:
+            raise RaidDegradedError(f"{self.name}: {len(failed)} members down")
+        end = now
+        for stripe, extents in self._group_by_stripe(req):
+            end = max(end, self._write_stripe(stripe, extents, req, now))
+        return end
+
+    def _group_by_stripe(self, req: Request):
+        grouped: List[Tuple[int, List[_Extent]]] = []
+        for ext in self._extents(req):
+            if grouped and grouped[-1][0] == ext.stripe:
+                grouped[-1][1].append(ext)
+            else:
+                grouped.append((ext.stripe, [ext]))
+        return grouped
+
+    def _write_stripe(self, stripe: int, extents: List[_Extent],
+                      req: Request, now: float) -> float:
+        """Write one stripe's worth of data plus parity maintenance."""
+        touched = {ext.chunk for ext in extents}
+        full_chunks = {ext.chunk for ext in extents
+                       if ext.offset == 0 and ext.length == self.chunk_size}
+        full_stripe = (len(full_chunks) == self.data_members)
+        stripe_off = stripe * self.chunk_size
+        parity_idx = self._parity_member(stripe)
+        end = now
+
+        if not full_stripe:
+            # Choose between read-modify-write (read old data + old
+            # parity) and reconstruct-write (read the untouched chunks).
+            rmw_reads = len(touched) + 1
+            rw_reads = self.data_members - len(full_chunks)
+            if rmw_reads <= rw_reads:
+                read_targets = [self._data_member(stripe, c) for c in touched]
+                read_targets.append(parity_idx)
+            else:
+                read_targets = [self._data_member(stripe, c)
+                                for c in range(self.data_members)
+                                if c not in full_chunks]
+            for idx in read_targets:
+                if self._alive(idx):
+                    sub = Request(Op.READ, stripe_off, self.chunk_size)
+                    end = max(end, self.members[idx].submit(sub, now))
+                    self.rmw_reads += 1
+        write_start = end if not full_stripe else now
+
+        for ext in extents:
+            idx = self._data_member(stripe, ext.chunk)
+            if self._alive(idx):
+                sub = Request(Op.WRITE, stripe_off + ext.offset, ext.length,
+                              fua=req.fua)
+                end = max(end, self.members[idx].submit(sub, write_start))
+        if self._alive(parity_idx):
+            # Parity is rewritten for the stripe span that changed.
+            span = max(ext.offset + ext.length for ext in extents)
+            base = min(ext.offset for ext in extents)
+            sub = Request(Op.WRITE, stripe_off + base, span - base,
+                          fua=req.fua)
+            end = max(end, self.members[parity_idx].submit(sub, write_start))
+            self.parity_writes += 1
+        return end
+
+    def _trim(self, req: Request, now: float) -> float:
+        end = now
+        for ext in self._extents(req):
+            idx = self._data_member(ext.stripe, ext.chunk)
+            if self._alive(idx):
+                off = ext.stripe * self.chunk_size + ext.offset
+                end = max(end, self.members[idx]
+                          .submit(Request(Op.TRIM, off, ext.length), now))
+        return end
+
+    # ------------------------------------------------------------------
+    def rebuild(self, member_index: int, now: float = 0.0) -> float:
+        """Reconstruct a replaced member from the survivors.
+
+        Returns the simulated completion time of the rebuild.
+        """
+        if not self._alive(member_index):
+            raise RaidDegradedError(
+                f"member {member_index} must be repaired before rebuild")
+        end = now
+        for stripe in range(self.stripes):
+            off = stripe * self.chunk_size
+            for i, member in enumerate(self.members):
+                sub = (Request(Op.WRITE, off, self.chunk_size)
+                       if i == member_index
+                       else Request(Op.READ, off, self.chunk_size))
+                end = max(end, member.submit(sub, now))
+            now = end
+        return end
+
+
+class Raid4Device(_ParityRaid):
+    """Dedicated parity member (the last one)."""
+
+    def __init__(self, members: List[BlockDevice], chunk_size: int = 4 * KIB,
+                 name: str = "raid4"):
+        super().__init__(members, chunk_size, name)
+
+    def _parity_member(self, stripe: int) -> int:
+        return len(self.members) - 1
+
+
+class Raid5Device(_ParityRaid):
+    """Rotating parity (left-symmetric)."""
+
+    def __init__(self, members: List[BlockDevice], chunk_size: int = 4 * KIB,
+                 name: str = "raid5"):
+        super().__init__(members, chunk_size, name)
+
+    def _parity_member(self, stripe: int) -> int:
+        return (len(self.members) - 1 - stripe) % len(self.members)
+
+
+def make_raid(level: int, members: List[BlockDevice],
+              chunk_size: int = 4 * KIB) -> BlockDevice:
+    """Factory for the RAID levels used in the paper's experiments."""
+    if level == 0:
+        return Raid0Device(members, chunk_size)
+    if level == 1:
+        return Raid1Device(members, chunk_size)
+    if level == 4:
+        return Raid4Device(members, chunk_size)
+    if level == 5:
+        return Raid5Device(members, chunk_size)
+    raise ConfigError(f"unsupported RAID level {level}")

@@ -1,0 +1,2 @@
+"""Discrete-event simulation core: resource timelines, links,
+and the closed-loop workload engine."""

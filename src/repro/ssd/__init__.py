@@ -1,0 +1,2 @@
+"""Commodity-SSD simulator: page-mapped FTL over erase-group
+superblocks, timed device model, wear accounting."""

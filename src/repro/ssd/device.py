@@ -1,0 +1,191 @@
+"""Timed SSD block device: FTL + resource timelines + failure injection.
+
+Timing model
+------------
+Two resources per drive:
+
+* the **host link** (SATA/PCIe): serialized, per-command latency plus
+  ``bytes / interface bandwidth``;
+* the **NAND backend**: an aggregate pipeline whose throughput equals
+  the drive's internal read/program bandwidth (channel parallelism is
+  folded into the bandwidth figure).
+
+Writes land in the volatile DRAM buffer and are acknowledged once the
+host transfer finishes *and* the NAND backlog fits in the buffer — so
+bursts are absorbed but sustained throughput converges to the NAND
+program bandwidth divided by the FTL's write amplification, which is
+exactly the behaviour Figures 2 and 4 of the paper rest on.  FLUSH
+drains the backlog and pays a fixed checkpoint penalty, reproducing the
+flush-cost findings of Table 3.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.block.device import BlockDevice
+from repro.common.errors import DeviceFailedError
+from repro.common.types import Op, Request
+from repro.sim.timeline import Link, Timeline
+from repro.ssd.ftl import FtlOpResult, PageMappedFtl
+from repro.ssd.spec import SsdSpec
+
+
+class SSDDevice(BlockDevice):
+    """One simulated SSD."""
+
+    def __init__(self, spec: SsdSpec, name: str = ""):
+        super().__init__(spec.capacity, name or spec.name)
+        self.spec = spec
+        self.ftl = PageMappedFtl(
+            logical_pages=spec.logical_pages,
+            physical_pages=spec.physical_pages,
+            superblock_pages=spec.superblock_pages,
+        )
+        self.link = Link(spec.interface_write_bw, spec.interface_latency)
+        self.read_link = Link(spec.interface_read_bw, spec.interface_latency)
+        self.nand = Timeline(1)
+        # Host reads are serviced at read priority: controllers suspend
+        # or interleave programs so reads do not queue behind the whole
+        # buffered-write backlog.  Separate timeline = full priority.
+        self.nand_reads = Timeline(1)
+        self.failed = False
+        self._buffer_slack = spec.buffer_size / spec.nand_prog_bw
+        self._corrupted_pages: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # failure / corruption injection (consumed by RAID and SRC recovery)
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Fail-stop the drive: every later request raises."""
+        self.failed = True
+
+    def repair(self, wipe: bool = True) -> None:
+        """Bring a replacement drive online (optionally blank)."""
+        self.failed = False
+        if wipe:
+            self.ftl = PageMappedFtl(
+                logical_pages=self.spec.logical_pages,
+                physical_pages=self.spec.physical_pages,
+                superblock_pages=self.spec.superblock_pages,
+            )
+            self._corrupted_pages.clear()
+
+    def inject_corruption(self, offset: int, length: int) -> None:
+        """Silently corrupt the stored data in a logical byte range."""
+        self._corrupted_pages.update(Request(Op.READ, offset, length).pages())
+
+    def corrupted_in(self, offset: int, length: int) -> Set[int]:
+        """Corrupted logical page numbers inside a byte range."""
+        span = set(Request(Op.READ, offset, length).pages())
+        return span & self._corrupted_pages
+
+    def clear_corruption(self, offset: int, length: int) -> None:
+        self._corrupted_pages -= set(Request(Op.READ, offset, length).pages())
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    @property
+    def write_amplification(self) -> float:
+        return self.ftl.counters.write_amplification
+
+    @property
+    def pages_programmed(self) -> int:
+        return self.ftl.counters.total_pages_programmed
+
+    @property
+    def bytes_programmed(self) -> int:
+        return self.pages_programmed * self.spec.page_size
+
+    # ------------------------------------------------------------------
+    # service
+    # ------------------------------------------------------------------
+    def _service(self, req: Request, now: float) -> float:
+        if self.failed:
+            raise DeviceFailedError(f"{self.name} has failed")
+        if req.op is Op.FLUSH:
+            return self._flush(now)
+        if req.op is Op.TRIM:
+            return self._trim(req, now)
+        if req.op is Op.READ:
+            return self._read(req, now)
+        return self._write(req, now)
+
+    def _npages(self, req: Request) -> int:
+        page = self.spec.page_size
+        first = req.offset // page
+        last = (req.end + page - 1) // page
+        return max(1, last - first)
+
+    def _page_of(self, offset: int) -> int:
+        return offset // self.spec.page_size
+
+    def _write(self, req: Request, now: float) -> float:
+        npages = self._npages(req)
+        result = self.ftl.write(self._page_of(req.offset), npages)
+        # Overwrites scrub any injected corruption for the range.
+        if self._corrupted_pages:
+            self.clear_corruption(req.offset, req.length)
+        # Programming is pipelined with the host transfer: NAND work can
+        # start as soon as the first pages stream into the DRAM buffer.
+        xfer_begin, xfer_end = self.link.transfer(now, req.length)
+        nand_time = self._nand_cost(result)
+        _, nand_end = self.nand.acquire(xfer_begin, nand_time)
+        nand_end = max(nand_end, xfer_end)
+        if req.fua:
+            _, fua_end = self.nand.acquire(nand_end, self.spec.flush_latency)
+            return fua_end
+        # Ack when the transfer is in and the backlog fits the buffer.
+        return max(xfer_end, nand_end - self._buffer_slack)
+
+    def _nand_cost(self, result: FtlOpResult) -> float:
+        spec = self.spec
+        page = spec.page_size
+        cost = result.host_pages * page / spec.nand_prog_bw
+        cost += result.gc_read_pages * page / spec.nand_read_bw
+        cost += result.gc_prog_pages * page / spec.nand_prog_bw
+        cost += result.erases * spec.erase_latency
+        return cost
+
+    def _read(self, req: Request, now: float) -> float:
+        npages = self._npages(req)
+        self.ftl.read(self._page_of(req.offset), npages)
+        read_time = npages * self.spec.page_size / self.spec.nand_read_bw
+        nand_begin, nand_end = self.nand_reads.acquire(now, read_time)
+        # The outbound transfer streams behind the NAND reads: it starts
+        # once the first page is in the buffer and cannot finish before
+        # the last page has been read.
+        first_page = self.spec.timing.t_read
+        _, out_end = self.read_link.transfer(nand_begin + first_page,
+                                             req.length)
+        return max(nand_end, out_end)
+
+    def _trim(self, req: Request, now: float) -> float:
+        npages = self._npages(req)
+        self.ftl.trim(self._page_of(req.offset), npages)
+        self.clear_corruption(req.offset, req.length)
+        _, end = self.link.transfer(now, 512)  # command-only transfer
+        return end
+
+    def _flush(self, now: float) -> float:
+        drain = max(now, self.nand.drain_time())
+        _, end = self.nand.acquire(drain, self.spec.flush_latency)
+        return end
+
+
+def precondition(ssd: SSDDevice, fill_fraction: float = 1.0,
+                 chunk: int = 0) -> None:
+    """Sequentially fill an SSD so later writes hit steady-state GC.
+
+    Mirrors the paper's preconditioning (§5.1): drives are TRIMmed, then
+    sequentially filled with dummy data before measurement.
+    """
+    page = ssd.spec.page_size
+    total_pages = int(ssd.spec.logical_pages * fill_fraction)
+    step = (chunk // page) if chunk else ssd.spec.superblock_pages
+    lpn = 0
+    while lpn < total_pages:
+        n = min(step, total_pages - lpn)
+        ssd.ftl.write(lpn, n)
+        lpn += n

@@ -1,0 +1,2 @@
+"""Workload generation: FIO-style benchmarks, the Table 6
+synthetic trace set, real MSR-CSV trace I/O, and the replayer."""

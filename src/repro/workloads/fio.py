@@ -1,0 +1,88 @@
+"""FIO-like synthetic workload generators (paper §3, Tables 2-3, Fig 1).
+
+The paper's microbenchmarks use FIO with a Uniform Random distribution,
+4 KiB requests, iodepth 32 and 4 threads; we model outstanding I/O as
+one request stream per (thread x queue slot), each closed-loop.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.types import Op, Request, flush, read, write
+from repro.common.units import KIB, PAGE_SIZE
+
+
+def uniform_random(span: int, request_size: int = 4 * KIB,
+                   op: Op = Op.WRITE, seed: int = 0,
+                   align: int = PAGE_SIZE,
+                   flush_every: int = 0) -> Iterator[Request]:
+    """Uniformly random offsets over ``span`` bytes, forever.
+
+    ``flush_every`` inserts a FLUSH after that many data requests
+    (Table 3's flush-impact experiment).
+    """
+    if request_size <= 0 or span < request_size:
+        raise ConfigError("span must cover at least one request")
+    rng = np.random.default_rng(seed)
+    slots = max(1, (span - request_size) // align + 1)
+    issued = 0
+    while True:
+        offset = int(rng.integers(0, slots)) * align
+        yield Request(op, offset, request_size)
+        issued += 1
+        if flush_every and issued % flush_every == 0:
+            yield flush()
+
+
+def sequential(span: int, request_size: int = 128 * KIB,
+               op: Op = Op.WRITE, start: int = 0,
+               flush_every_bytes: int = 0) -> Iterator[Request]:
+    """Sequential stream wrapping around ``span``, forever.
+
+    ``flush_every_bytes`` issues a FLUSH after each that-many bytes
+    (the paper flushes each 512 KiB of sequential writes in Table 3).
+    """
+    if request_size <= 0 or span < request_size:
+        raise ConfigError("span must cover at least one request")
+    offset = start
+    since_flush = 0
+    while True:
+        if offset + request_size > span:
+            offset = 0
+        yield Request(op, offset, request_size)
+        offset += request_size
+        since_flush += request_size
+        if flush_every_bytes and since_flush >= flush_every_bytes:
+            since_flush = 0
+            yield flush()
+
+
+def mixed(span: int, read_fraction: float, request_size: int = 4 * KIB,
+          seed: int = 0) -> Iterator[Request]:
+    """Uniform random mix of reads and writes."""
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ConfigError("read_fraction must be in [0,1]")
+    rng = np.random.default_rng(seed)
+    slots = max(1, (span - request_size) // PAGE_SIZE + 1)
+    while True:
+        offset = int(rng.integers(0, slots)) * PAGE_SIZE
+        op = Op.READ if rng.random() < read_fraction else Op.WRITE
+        yield Request(op, offset, request_size)
+
+
+def fio_job_streams(span: int, request_size: int = 4 * KIB,
+                    op: Op = Op.WRITE, iodepth: int = 32,
+                    threads: int = 4, seed: int = 0) -> List[Iterator[Request]]:
+    """The paper's FIO setting: ``threads`` jobs at ``iodepth`` each.
+
+    Returns iodepth x threads independent request streams; run them
+    with :func:`repro.sim.engine.run_streams` for closed-loop replay.
+    """
+    return [
+        uniform_random(span, request_size, op, seed=seed * 1000 + i)
+        for i in range(iodepth * threads)
+    ]

@@ -1,0 +1,64 @@
+"""Zipfian block popularity — the skew engine behind the trace models.
+
+Production block workloads (MSR Cambridge and Microsoft Production
+Server traces, Table 6) are highly skewed: a small hot set absorbs most
+accesses.  We model per-trace skew with a bounded Zipf distribution
+sampled efficiently via inverse-CDF lookup on a precomputed table, with
+a per-trace shuffle so different traces hash their hot sets to
+different regions of the volume.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+
+
+class ZipfSampler:
+    """Bounded Zipf(theta) over ``n`` items with O(log n) sampling."""
+
+    def __init__(self, n: int, theta: float = 0.99, seed: int = 0,
+                 shuffle: bool = True):
+        if n <= 0:
+            raise ConfigError("n must be positive")
+        if theta < 0:
+            raise ConfigError("theta must be >= 0")
+        self.n = n
+        self.theta = theta
+        self._rng = np.random.default_rng(seed)
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        weights = ranks ** (-theta)
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+        if shuffle:
+            self._perm = self._rng.permutation(n)
+        else:
+            self._perm = None
+
+    def sample(self) -> int:
+        """Draw one item index in [0, n)."""
+        u = self._rng.random()
+        rank = int(np.searchsorted(self._cdf, u))
+        if self._perm is not None:
+            return int(self._perm[rank])
+        return rank
+
+    def sample_many(self, count: int) -> np.ndarray:
+        """Vectorised draw of ``count`` item indexes."""
+        u = self._rng.random(count)
+        ranks = np.searchsorted(self._cdf, u)
+        if self._perm is not None:
+            return self._perm[ranks]
+        return ranks
+
+    def hot_fraction(self, top: float = 0.1) -> float:
+        """Probability mass of the top ``top`` fraction of items.
+
+        Useful to sanity-check skew: theta=0.99 puts ~63% of accesses
+        on the hottest 10% of blocks for n ~ 1e5.
+        """
+        cutoff = max(1, int(self.n * top))
+        return float(self._cdf[cutoff - 1])

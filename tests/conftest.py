@@ -1,0 +1,3 @@
+"""Pytest fixtures (stack builders live in _stacks.py)."""
+
+from _stacks import *  # noqa: F401,F403  (fixtures + constants)

@@ -1,0 +1,76 @@
+"""ASCII chart helpers and latency percentile accumulator."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.types import LatencyStats
+from repro.harness.ascii_chart import bar_chart, grouped_bar_chart, hbar
+
+
+def test_hbar_full_and_empty():
+    assert hbar(10, 10, width=10) == "█" * 10
+    assert hbar(0, 10, width=10) == ""
+
+
+def test_hbar_clamps_overflow():
+    assert hbar(20, 10, width=10) == "█" * 10
+
+
+def test_hbar_rejects_zero_max():
+    with pytest.raises(ConfigError):
+        hbar(1, 0)
+
+
+def test_bar_chart_rows_and_values():
+    chart = bar_chart({"SRC": 500.0, "Bcache5": 180.0}, unit=" MB/s")
+    lines = chart.splitlines()
+    assert len(lines) == 2
+    assert "SRC" in lines[0] and "500.0 MB/s" in lines[0]
+    # The longer bar belongs to the larger value.
+    assert lines[0].count("█") > lines[1].count("█")
+
+
+def test_bar_chart_empty():
+    assert bar_chart({}) == "(no data)"
+
+
+def test_grouped_bar_chart_layout():
+    chart = grouped_bar_chart(
+        ["write", "read"],
+        {"SRC": [500.0, 700.0], "Bcache5": [180.0, 230.0]})
+    assert chart.count("write:") == 1
+    assert chart.count("SRC") == 2
+
+
+def test_grouped_bar_chart_arity_check():
+    with pytest.raises(ConfigError):
+        grouped_bar_chart(["a", "b"], {"x": [1.0]})
+
+
+# ------------------------------------------------------------------
+# latency percentiles
+# ------------------------------------------------------------------
+def test_percentiles_ordered():
+    lat = LatencyStats()
+    for i in range(1000):
+        lat.record(i / 1000.0)
+    assert lat.p50 == pytest.approx(0.5, abs=0.05)
+    assert lat.p99 == pytest.approx(0.99, abs=0.02)
+    assert lat.p50 <= lat.p99 <= lat.max
+
+
+def test_percentile_empty_is_zero():
+    assert LatencyStats().p99 == 0.0
+
+
+def test_percentile_validates_range():
+    with pytest.raises(ValueError):
+        LatencyStats().percentile(1.5)
+
+
+def test_reservoir_bounded():
+    lat = LatencyStats()
+    for i in range(10_000):
+        lat.record(float(i))
+    assert len(lat._reservoir) <= lat._reservoir_size
+    assert lat.count == 10_000

@@ -1,0 +1,136 @@
+"""Bcache behavioural model."""
+
+import pytest
+
+from repro.baselines.bcache import BcacheDevice
+from repro.baselines.common import WritePolicy
+from repro.block.device import NullDevice
+from repro.common.types import Op, Request
+from repro.common.units import KIB, MIB, PAGE_SIZE
+
+
+class FlushCountingNull(NullDevice):
+    def __init__(self, size, latency=1e-5, name="ssd"):
+        super().__init__(size, latency, name)
+
+
+def make_bc(policy=WritePolicy.WRITE_BACK, cache_size=32 * MIB,
+            bucket_size=256 * KIB, wb_pct=0.9,
+            journal_commit=1 * MIB):
+    cache = FlushCountingNull(cache_size)
+    origin = NullDevice(128 * MIB, latency=1e-3, name="hdd")
+    return BcacheDevice(cache, origin, bucket_size=bucket_size,
+                        policy=policy, writeback_percent=wb_pct,
+                        journal_commit_bytes=journal_commit)
+
+
+def test_writes_fill_bucket_sequentially():
+    bc = make_bc()
+    bc.write(0, PAGE_SIZE, 0.0)
+    bc.write(10 * PAGE_SIZE, PAGE_SIZE, 1.0)
+    # Two random LBAs landed in consecutive bucket slots.
+    (b1, s1) = bc.lookup[0]
+    (b2, s2) = bc.lookup[10]
+    assert b1 == b2
+    assert s2 == s1 + 1
+
+
+def test_journal_commit_issues_flush():
+    bc = make_bc(journal_commit=8 * PAGE_SIZE)
+    for i in range(16):
+        bc.write(i * PAGE_SIZE, PAGE_SIZE, float(i))
+    assert bc.journal_commits >= 1
+    assert bc.cache_dev.stats.flush_ops >= 1
+
+
+def test_flush_from_above_commits_journal():
+    bc = make_bc()
+    bc.write(0, PAGE_SIZE, 0.0)
+    bc.flush(1.0)
+    assert bc.journal_commits == 1
+    assert bc.cache_dev.stats.flush_ops == 1
+
+
+def test_write_through_writes_origin():
+    bc = make_bc(policy=WritePolicy.WRITE_THROUGH)
+    bc.write(0, PAGE_SIZE, 0.0)
+    assert bc.origin.stats.write_bytes == PAGE_SIZE
+    assert bc.dirty_blocks == 0
+
+
+def test_read_miss_fills_clean():
+    bc = make_bc()
+    bc.read(0, PAGE_SIZE, 0.0)
+    assert bc.cstats.read_misses == 1
+    assert 0 in bc.lookup
+    assert bc.dirty_blocks == 0
+
+
+def test_read_hit_serves_from_cache():
+    bc = make_bc()
+    bc.write(0, PAGE_SIZE, 0.0)
+    origin_reads = bc.origin.stats.read_ops
+    bc.read(0, PAGE_SIZE, 1.0)
+    assert bc.cstats.read_hits == 1
+    assert bc.origin.stats.read_ops == origin_reads
+
+
+def test_rewrite_invalidates_old_slot():
+    bc = make_bc()
+    bc.write(0, PAGE_SIZE, 0.0)
+    first = bc.lookup[0]
+    bc.write(0, PAGE_SIZE, 1.0)
+    assert bc.lookup[0] != first
+    assert bc.dirty_blocks == 1
+
+
+def test_bucket_reclaim_destages_dirty_drops_clean():
+    bc = make_bc(cache_size=9 * MIB, bucket_size=256 * KIB,
+                 wb_pct=1.0)   # disable threshold writeback
+    blocks = bc.total_blocks
+    # Write more unique dirty blocks than the cache holds.
+    for b in range(blocks + bc.bucket_blocks):
+        bc.write(b * PAGE_SIZE, PAGE_SIZE, float(b) * 1e-3)
+    assert bc.cstats.destaged_blocks > 0
+
+
+def test_writeback_percent_triggers_destage():
+    bc = make_bc(cache_size=16 * MIB, wb_pct=0.01)
+    # Spill past the open bucket: only closed buckets are written back.
+    for b in range(3 * bc.bucket_blocks):
+        bc.write(b * PAGE_SIZE, PAGE_SIZE, float(b) * 1e-3)
+    assert bc.cstats.destaged_blocks > 0
+
+
+def test_extent_insert_merges_cache_writes():
+    bc = make_bc()
+    ops_before = bc.cache_dev.stats.write_ops
+    bc.write(0, 8 * PAGE_SIZE, 0.0)
+    data_ops = bc.cache_dev.stats.write_ops - ops_before
+    # One merged extent write + one journal write (no commit yet).
+    assert data_ops == 2
+
+
+def test_multiblock_request_counts_block_lookups():
+    bc = make_bc()
+    bc.write(0, 4 * PAGE_SIZE, 0.0)
+    assert bc.cstats.write_misses == 4
+    bc.write(0, 4 * PAGE_SIZE, 1.0)
+    assert bc.cstats.write_hits == 4
+
+
+def test_destage_all_flushes_writeback_queue():
+    bc = make_bc()
+    for b in range(8):
+        bc.write(b * PAGE_SIZE, PAGE_SIZE, 0.0)
+    bc.destage_all(1.0)
+    assert bc.dirty_blocks == 0
+    assert bc.origin.stats.write_bytes == 8 * PAGE_SIZE
+
+
+def test_cache_too_small_rejected():
+    from repro.common.errors import ConfigError
+    cache = NullDevice(1 * MIB)
+    origin = NullDevice(8 * MIB)
+    with pytest.raises(ConfigError):
+        BcacheDevice(cache, origin, bucket_size=1 * MIB)

@@ -1,0 +1,76 @@
+"""Block-device abstraction: validation, linear windows, stats."""
+
+import pytest
+
+from repro.block.device import (LinearDevice, NullDevice, StatsDevice,
+                                total_bytes)
+from repro.common.errors import AddressError
+from repro.common.types import Op, Request
+
+
+def test_out_of_range_request_rejected():
+    dev = NullDevice(size=1024)
+    with pytest.raises(AddressError):
+        dev.read(512, 1024, 0.0)
+
+
+def test_flush_has_no_bounds():
+    dev = NullDevice(size=1024)
+    dev.flush(0.0)   # no exception
+
+
+def test_null_device_latency():
+    dev = NullDevice(size=1024, latency=0.5)
+    assert dev.read(0, 512, 1.0) == 1.5
+
+
+def test_stats_recorded_on_submit():
+    dev = NullDevice(size=4096)
+    dev.write(0, 4096, 0.0)
+    dev.read(0, 512, 0.0)
+    assert dev.stats.write_bytes == 4096
+    assert dev.stats.read_bytes == 512
+
+
+def test_linear_offsets_shift():
+    lower = NullDevice(size=8192)
+    window = LinearDevice(lower, start=4096, size=4096)
+    window.write(0, 512, 0.0)
+    assert lower.stats.write_bytes == 512
+    # The lower device saw the shifted offset (no AddressError at 4096).
+    with pytest.raises(AddressError):
+        window.write(4096, 512, 0.0)   # beyond window
+
+
+def test_linear_window_must_fit():
+    lower = NullDevice(size=8192)
+    with pytest.raises(AddressError):
+        LinearDevice(lower, start=4096, size=8192)
+
+
+def test_linear_forwards_flush():
+    lower = NullDevice(size=8192)
+    window = LinearDevice(lower, 0, 4096)
+    window.flush(0.0)
+    assert lower.stats.flush_ops == 1
+
+
+def test_stats_device_transparent():
+    lower = NullDevice(size=8192, latency=0.25)
+    probe = StatsDevice(lower)
+    end = probe.write(0, 4096, 0.0)
+    assert end == 0.25
+    assert probe.stats.write_bytes == 4096
+    assert lower.stats.write_bytes == 4096
+
+
+def test_total_bytes_helper():
+    a, b = NullDevice(4096), NullDevice(4096)
+    a.write(0, 1024, 0.0)
+    b.read(0, 2048, 0.0)
+    assert total_bytes([a, b]) == 3072
+
+
+def test_repr_contains_name():
+    dev = NullDevice(1024, name="thing")
+    assert "thing" in repr(dev)

@@ -1,0 +1,49 @@
+"""Command-line interface."""
+
+import io
+import os
+import tempfile
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+def test_experiments_listing(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    for key in EXPERIMENTS:
+        assert key in out
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "bogus"]) == 2
+
+
+def test_run_static_tables(capsys):
+    assert main(["run", "tables4-12"]) == 0
+    out = capsys.readouterr().out
+    assert "SSD-A" in out and "C-MLC(NVMe)" in out
+
+
+def test_run_table6_quick(capsys):
+    assert main(["run", "table6", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "prxy0" in out
+
+
+def test_export_trace_roundtrip(tmp_path, capsys):
+    out = tmp_path / "trace.csv"
+    assert main(["export-trace", "mds0", str(out),
+                 "--requests", "20", "--scale", "0.004"]) == 0
+    lines = out.read_text().strip().splitlines()
+    assert len(lines) == 20
+
+
+def test_replay_unknown_target(capsys):
+    assert main(["replay", "write", "--target", "bogus"]) == 2
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,107 @@
+"""Cost model: product sheets, lifetime estimation, Fig 6 arithmetic."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.units import GB, GIB
+from repro.cost.lifetime import (CostEffectiveness, PAPER_DAILY_WRITES,
+                                 flash_waf, lifetime_days)
+from repro.cost.products import PRODUCT_ORDER, PRODUCTS, TABLE4
+
+
+def test_table12_products_complete():
+    assert PRODUCT_ORDER == ["A-MLC(SATA)", "A-TLC(SATA)", "B-MLC(SATA)",
+                             "B-TLC(SATA)", "C-MLC(NVMe)"]
+    assert all(key in PRODUCTS for key in PRODUCT_ORDER)
+
+
+def test_gb_per_dollar_matches_paper():
+    """Table 12's GB/$ row: 1.22 / 1.76 / 1.36 / 2.27 / 0.85."""
+    paper = {"A-MLC(SATA)": 1.22, "A-TLC(SATA)": 1.76,
+             "B-MLC(SATA)": 1.36, "B-TLC(SATA)": 2.27,
+             "C-MLC(NVMe)": 0.85}
+    for key, expected in paper.items():
+        assert PRODUCTS[key].gb_per_dollar == pytest.approx(expected,
+                                                            rel=0.10)
+
+
+def test_endurance_by_nand_type():
+    for product in PRODUCTS.values():
+        expected = 3000 if product.nand == "MLC" else 1000
+        assert product.endurance == expected
+
+
+def test_parity_usage():
+    assert PRODUCTS["A-MLC(SATA)"].uses_parity
+    assert not PRODUCTS["C-MLC(NVMe)"].uses_parity
+
+
+def test_table4_price_scales_with_capacity():
+    sata = [r for r in TABLE4 if r.family == "SSD-A"]
+    assert sorted(sata, key=lambda r: r.capacity_gb) == \
+        sorted(sata, key=lambda r: r.price_usd)
+
+
+def test_table4_nvme_premium():
+    cheapest_nvme = min(r.price_usd / r.capacity_gb for r in TABLE4
+                        if r.family == "SSD-B")
+    priciest_sata = max(r.price_usd / r.capacity_gb for r in TABLE4
+                        if r.family == "SSD-A")
+    assert cheapest_nvme > priciest_sata
+
+
+# ------------------------------------------------------------------
+# lifetime model
+# ------------------------------------------------------------------
+def test_lifetime_paper_example():
+    """A-MLC Write group: ~2140 days at WAF ~1.4 (Fig 6b)."""
+    product = PRODUCTS["A-MLC(SATA)"]
+    days = lifetime_days(product.total_capacity, product.endurance,
+                         waf=1.4)
+    assert days == pytest.approx(2140, rel=0.15)
+
+
+def test_lifetime_inverse_in_waf():
+    life1 = lifetime_days(512 * GB, 3000, waf=1.0)
+    life2 = lifetime_days(512 * GB, 3000, waf=2.0)
+    assert life1 == pytest.approx(2 * life2)
+
+
+def test_lifetime_scales_with_endurance():
+    mlc = lifetime_days(512 * GB, 3000, waf=1.5)
+    tlc = lifetime_days(512 * GB, 1000, waf=1.5)
+    assert mlc == pytest.approx(3 * tlc)
+
+
+def test_lifetime_rejects_bad_inputs():
+    with pytest.raises(ConfigError):
+        lifetime_days(0, 3000, 1.0)
+    with pytest.raises(ConfigError):
+        lifetime_days(512 * GB, 3000, 0.0)
+
+
+def test_flash_waf_floor():
+    assert flash_waf(100, 50) == 1.0       # programs below app writes
+    assert flash_waf(0, 100) == 1.0        # no app writes yet
+    assert flash_waf(100, 250) == 2.5
+
+
+def test_cost_effectiveness_metrics():
+    ce = CostEffectiveness(product="X", workload="write",
+                           throughput_mb_s=400.0, set_cost_usd=400.0,
+                           lifetime_days=2000.0)
+    assert ce.perf_per_dollar == pytest.approx(1.0)
+    assert ce.lifetime_per_dollar == pytest.approx(5.0)
+
+
+def test_mlc_beats_tlc_on_lifetime_per_dollar():
+    """The paper's headline lifetime claim, from the data alone."""
+    for company in ("A", "B"):
+        mlc = PRODUCTS[f"{company}-MLC(SATA)"]
+        tlc = PRODUCTS[f"{company}-TLC(SATA)"]
+        waf = 1.5
+        mlc_ld = lifetime_days(mlc.total_capacity, mlc.endurance, waf) \
+            / mlc.set_cost_usd
+        tlc_ld = lifetime_days(tlc.total_capacity, tlc.endurance, waf) \
+            / tlc.set_cost_usd
+        assert mlc_ld > tlc_ld

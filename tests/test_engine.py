@@ -1,0 +1,87 @@
+"""Closed-loop workload engine."""
+
+import pytest
+
+from repro.common.types import Op, Request, read, write
+from repro.sim.engine import Engine, JobStream, run_streams
+
+
+def fixed_latency_issue(latency):
+    def issue(req, now):
+        return now + latency
+    return issue
+
+
+def repeat(req, count=None):
+    issued = 0
+    while count is None or issued < count:
+        yield req
+        issued += 1
+
+
+def test_single_stream_closed_loop_rate():
+    result = run_streams(fixed_latency_issue(0.1),
+                         [repeat(write(0, 4096))], duration=10.0)
+    # One request every 0.1s for 10s -> ~100 requests.
+    assert 95 <= result.completed_ops <= 101
+
+
+def test_two_streams_double_throughput():
+    one = run_streams(fixed_latency_issue(0.1),
+                      [repeat(write(0, 4096))], duration=10.0)
+    two = run_streams(fixed_latency_issue(0.1),
+                      [repeat(write(0, 4096)) for _ in range(2)],
+                      duration=10.0)
+    assert two.completed_ops == pytest.approx(2 * one.completed_ops, rel=0.05)
+
+
+def test_exhausted_source_stops_engine():
+    result = run_streams(fixed_latency_issue(0.5),
+                         [repeat(write(0, 4096), count=3)])
+    assert result.completed_ops == 3
+    assert result.elapsed == pytest.approx(1.5)
+
+
+def test_max_requests_bound():
+    result = run_streams(fixed_latency_issue(0.01),
+                         [repeat(write(0, 4096))], duration=1e9,
+                         max_requests=42)
+    assert result.completed_ops == 42
+
+
+def test_think_time_slows_stream():
+    engine = Engine(fixed_latency_issue(0.1))
+    engine.add_stream(JobStream(repeat(write(0, 4096)), think_time=0.1))
+    result = engine.run(duration=10.0)
+    assert result.completed_ops == pytest.approx(50, abs=2)
+
+
+def test_latency_recorded():
+    result = run_streams(fixed_latency_issue(0.25),
+                         [repeat(read(0, 4096), count=4)])
+    assert result.latency.mean == pytest.approx(0.25)
+    assert result.latency.max == pytest.approx(0.25)
+
+
+def test_throughput_metric():
+    result = run_streams(fixed_latency_issue(0.1),
+                         [repeat(write(0, 1_000_000))], duration=10.0)
+    assert result.throughput_mb_s == pytest.approx(10.0, rel=0.05)
+
+
+def test_completion_before_issue_is_error():
+    def bad_issue(req, now):
+        return now - 1.0
+    with pytest.raises(AssertionError):
+        run_streams(bad_issue, [repeat(write(0, 4096), count=1)])
+
+
+def test_streams_interleave_in_time_order():
+    seen = []
+
+    def issue(req, now):
+        seen.append(now)
+        return now + 0.1
+
+    run_streams(issue, [repeat(write(0, 4096), 5) for _ in range(3)])
+    assert seen == sorted(seen)

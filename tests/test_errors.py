@@ -1,0 +1,28 @@
+"""Exception hierarchy contract."""
+
+import pytest
+
+from repro.common import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in ("ConfigError", "AddressError", "DeviceFailedError",
+                 "ChecksumError", "RecoveryError", "RaidDegradedError"):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+        assert issubclass(cls, Exception)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.ConfigError("x")
+    with pytest.raises(errors.ReproError):
+        raise errors.RaidDegradedError("y")
+
+
+def test_distinct_types_do_not_cross_catch():
+    with pytest.raises(errors.AddressError):
+        try:
+            raise errors.AddressError("z")
+        except errors.ConfigError:   # pragma: no cover - must not match
+            pytest.fail("AddressError caught as ConfigError")

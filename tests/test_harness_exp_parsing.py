@@ -1,0 +1,53 @@
+"""Cross-cutting checks on the experiment modules' table contracts."""
+
+import pytest
+
+from repro.harness import (exp_fig1, exp_fig2, exp_fig4, exp_fig5,
+                           exp_fig6, exp_fig7, exp_table2, exp_table3,
+                           exp_table8, exp_table9, exp_table10,
+                           exp_table11)
+from repro.harness.runner import TRACE_GROUPS
+
+
+def test_trace_groups_canonical_order():
+    assert TRACE_GROUPS == ("write", "mixed", "read")
+
+
+def test_fig7_schemes_cover_paper_lineup():
+    assert exp_fig7.SCHEMES == ("SRC", "SRC-S2D", "Bcache5",
+                                "Flashcache5")
+
+
+def test_table8_combos_cover_design_space():
+    names = [name for name, _, _ in exp_table8.COMBOS]
+    assert names == ["S2D/FIFO", "S2D/Greedy", "Sel-GC/FIFO",
+                     "Sel-GC/Greedy"]
+
+
+def test_fig5_levels_include_paper_peak():
+    assert 0.90 in exp_fig5.UMAX_LEVELS
+    assert 0.95 in exp_fig5.UMAX_LEVELS
+
+
+def test_fig2_sweeps_cover_the_erase_group():
+    assert 256 in exp_fig2.WRITE_SIZES_MB
+    assert 0.0 in exp_fig2.OPS_LEVELS and 0.5 in exp_fig2.OPS_LEVELS
+
+
+def test_fig4_sweeps_include_default_erase_group():
+    assert 256 in exp_fig4.ERASE_SIZES_MB
+
+
+def test_table10_levels():
+    assert exp_table10.LEVELS == (0, 4, 5)
+
+
+def test_fig1_raid_levels():
+    assert exp_fig1.RAID_LEVELS == (0, 1, 4, 5)
+
+
+def test_runner_modules_expose_run():
+    for module in (exp_table2, exp_table3, exp_fig1, exp_fig2, exp_fig4,
+                   exp_fig5, exp_fig6, exp_fig7, exp_table8, exp_table9,
+                   exp_table10, exp_table11):
+        assert callable(module.run)

@@ -1,0 +1,84 @@
+"""End-to-end integration: every cache target runs every trace group
+on the simulated device stacks and produces sane, comparable metrics."""
+
+import pytest
+
+from repro.baselines.bcache import BcacheDevice
+from repro.baselines.common import WritePolicy
+from repro.baselines.flashcache import FlashcacheDevice
+from repro.block.device import LinearDevice
+from repro.common.units import MIB
+from repro.hdd.backend import PrimaryStorage
+from repro.raid.array import Raid5Device
+from repro.ssd.device import SSDDevice
+from repro.workloads.replay import replay_group
+
+from _stacks import TINY_DISK, TINY_SSD, make_src
+
+SCALE = 1 / 512
+DURATION = 0.6
+
+
+def build_baseline(cls, **kwargs):
+    ssds = [SSDDevice(TINY_SSD, name=f"b{i}") for i in range(4)]
+    raid = Raid5Device(ssds, chunk_size=4096)
+    window = LinearDevice(raid, 0, 96 * MIB)
+    origin = PrimaryStorage(n_disks=4, disk_spec=TINY_DISK)
+    return cls(window, origin, **kwargs)
+
+
+@pytest.mark.parametrize("group", ["write", "mixed", "read"])
+def test_src_runs_every_group(group):
+    cache = make_src()
+    result = replay_group(cache, group, scale=SCALE, duration=DURATION,
+                          warmup=0.2, seed=1)
+    assert result.throughput_mb_s > 0
+    cache.mapping.check_invariants()
+    for ssd in cache.ssds:
+        ssd.ftl.check_invariants()
+
+
+@pytest.mark.parametrize("group", ["write", "read"])
+def test_bcache5_runs(group):
+    target = build_baseline(BcacheDevice, bucket_size=1 * MIB,
+                            policy=WritePolicy.WRITE_BACK,
+                            writeback_percent=0.90)
+    result = replay_group(target, group, scale=SCALE, duration=DURATION,
+                          warmup=0.2, seed=1)
+    assert result.throughput_mb_s > 0
+
+
+@pytest.mark.parametrize("group", ["write", "read"])
+def test_flashcache5_runs(group):
+    target = build_baseline(FlashcacheDevice, set_size=1 * MIB,
+                            policy=WritePolicy.WRITE_BACK,
+                            dirty_thresh_pct=0.90)
+    result = replay_group(target, group, scale=SCALE, duration=DURATION,
+                          warmup=0.2, seed=1)
+    assert result.throughput_mb_s > 0
+
+
+def test_src_beats_baselines_on_write_group():
+    """The headline Figure 7 shape at integration-test scale."""
+    src_result = replay_group(make_src(), "write", scale=SCALE,
+                              duration=DURATION, warmup=0.3, seed=1)
+    bcache = build_baseline(BcacheDevice, bucket_size=1 * MIB,
+                            policy=WritePolicy.WRITE_BACK,
+                            writeback_percent=0.90)
+    bc_result = replay_group(bcache, "write", scale=SCALE,
+                             duration=DURATION, warmup=0.3, seed=1)
+    assert src_result.throughput_mb_s > bc_result.throughput_mb_s
+
+
+def test_write_back_faster_than_write_through():
+    """The Table 2 shape at integration-test scale."""
+    wb = build_baseline(FlashcacheDevice, set_size=1 * MIB,
+                        policy=WritePolicy.WRITE_BACK,
+                        dirty_thresh_pct=0.90)
+    wt = build_baseline(FlashcacheDevice, set_size=1 * MIB,
+                        policy=WritePolicy.WRITE_THROUGH)
+    wb_result = replay_group(wb, "write", scale=SCALE, duration=DURATION,
+                             warmup=0.2, seed=1)
+    wt_result = replay_group(wt, "write", scale=SCALE, duration=DURATION,
+                             warmup=0.2, seed=1)
+    assert wb_result.throughput_mb_s > wt_result.throughput_mb_s

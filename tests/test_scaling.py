@@ -1,0 +1,108 @@
+"""Online drive scaling (§6 future work): expand / contract."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.units import PAGE_SIZE
+from repro.core.scaling import contract_array, expand_array
+from repro.ssd.device import SSDDevice
+
+from _stacks import TINY_SRC, TINY_SSD, make_src
+
+
+def populate(cache, n_blocks=400):
+    now = 0.0
+    for i in range(n_blocks):
+        now = cache.write(i * PAGE_SIZE, PAGE_SIZE, now + 1e-4)
+    for i in range(n_blocks, n_blocks + 100):
+        now = cache.read(i * PAGE_SIZE, PAGE_SIZE, now + 1e-4)
+    return now
+
+
+def cached_blocks(cache):
+    persisted = set(cache.mapping._map)
+    buffered = set(cache.dirty_buf.peek()) | set(cache.clean_buf.peek())
+    return persisted | buffered
+
+
+def test_expand_preserves_contents():
+    cache = make_src()
+    populate(cache)
+    before = cached_blocks(cache)
+    new_cache, end = expand_array(cache, SSDDevice(TINY_SSD, name="new"))
+    assert new_cache.config.n_ssds == 5
+    assert cached_blocks(new_cache) >= before
+
+
+def test_expand_preserves_dirty_flags():
+    cache = make_src()
+    populate(cache)
+    dirty_before = {lba for lba, e in cache.mapping._map.items()
+                    if e.dirty} | set(cache.dirty_buf.peek())
+    new_cache, _ = expand_array(cache, SSDDevice(TINY_SSD, name="new"))
+    for lba in dirty_before:
+        entry = new_cache.mapping.lookup(lba)
+        in_buffer = lba in new_cache.dirty_buf
+        assert in_buffer or (entry is not None and entry.dirty), \
+            f"dirty block {lba} lost its dirtiness"
+
+
+def test_expand_grows_capacity():
+    # Whole-device caching: adding a drive must add capacity.  (With a
+    # fixed cache_space budget the per-drive share shrinks instead.)
+    cache = make_src(replace(TINY_SRC, cache_space=0))
+    new_cache, _ = expand_array(cache, SSDDevice(TINY_SSD, name="new"))
+    assert (new_cache.layout.cache_data_capacity_blocks()
+            > cache.layout.cache_data_capacity_blocks())
+
+
+def test_expand_charges_migration_io():
+    cache = make_src()
+    populate(cache)
+    new_ssd = SSDDevice(TINY_SSD, name="new")
+    _, end = expand_array(cache, new_ssd, now=0.0)
+    assert end > 0.0
+    assert new_ssd.stats.write_bytes > 0
+
+
+def test_contract_preserves_contents():
+    cache = make_src()
+    populate(cache)
+    before = cached_blocks(cache)
+    new_cache, _ = contract_array(cache, remove_index=3)
+    assert new_cache.config.n_ssds == 3
+    assert cached_blocks(new_cache) >= before
+
+
+def test_contract_below_parity_minimum_rejected():
+    cache = make_src(n_ssds=4)
+    smaller, _ = contract_array(cache, 3)
+    with pytest.raises(ConfigError):
+        contract_array(smaller, 2)   # would leave 2 < 3 for RAID-5
+
+
+def test_contract_invalid_index_rejected():
+    cache = make_src()
+    with pytest.raises(ConfigError):
+        contract_array(cache, 9)
+
+
+def test_new_array_serves_io_after_expand():
+    cache = make_src()
+    populate(cache)
+    new_cache, end = expand_array(cache, SSDDevice(TINY_SSD, name="new"))
+    new_cache.write(0, PAGE_SIZE, end + 1.0)
+    new_cache.read(PAGE_SIZE, PAGE_SIZE, end + 2.0)
+    new_cache.mapping.check_invariants()
+
+
+def test_migrated_state_is_crash_consistent():
+    from repro.core.recovery import recover
+    cache = make_src()
+    populate(cache)
+    new_cache, _ = expand_array(cache, SSDDevice(TINY_SSD, name="new"))
+    recovered, report = recover(new_cache.ssds, new_cache.origin,
+                                new_cache.config, new_cache.metadata)
+    assert report.blocks_recovered == new_cache.mapping.valid_blocks()

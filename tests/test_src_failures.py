@@ -1,0 +1,144 @@
+"""SRC failure handling: SSD loss, silent corruption, rebuild."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.units import PAGE_SIZE
+from repro.core.config import CleanRedundancy, SrcConfig
+
+from _stacks import TINY_SRC, make_src
+
+
+def fill_one_dirty_segment(cache, start=0):
+    cap = cache.layout.dirty_segment_capacity()
+    now = 0.0
+    for i in range(cap):
+        now = cache.write((start + i) * PAGE_SIZE, PAGE_SIZE, now)
+    return now, cap
+
+
+def fill_one_clean_segment(cache, start=0):
+    cap = cache.layout.clean_segment_capacity()
+    now = 0.0
+    for i in range(cap):
+        now = cache.read((start + i) * PAGE_SIZE, PAGE_SIZE, now + 1.0)
+    return now, cap
+
+
+# ------------------------------------------------------------------
+# silent corruption (§4.1 failure handling)
+# ------------------------------------------------------------------
+def test_corrupted_dirty_block_recovered_via_parity():
+    cache = make_src()
+    now, cap = fill_one_dirty_segment(cache)
+    entry = cache.mapping.lookup(0)
+    ssd = cache.ssds[entry.location.ssd]
+    ssd.inject_corruption(entry.location.offset, PAGE_SIZE)
+    cache.read(0, PAGE_SIZE, now + 1.0)
+    assert cache.srcstats.corruption_repairs == 1
+    assert cache.srcstats.parity_reconstructions == 1
+    assert cache.srcstats.unrecoverable_errors == 0
+    # The repaired block is re-logged, not left on the bad location.
+    assert 0 in cache.dirty_buf or cache.mapping.lookup(0) is not None
+
+
+def test_corrupted_clean_block_refetched_from_origin_in_npc():
+    cache = make_src()   # NPC default: clean stripes carry no parity
+    now, cap = fill_one_clean_segment(cache)
+    entry = cache.mapping.lookup(0)
+    assert not entry.dirty
+    ssd = cache.ssds[entry.location.ssd]
+    origin_reads = cache.origin.stats.read_ops
+    ssd.inject_corruption(entry.location.offset, PAGE_SIZE)
+    cache.read(0, PAGE_SIZE, now + 1.0)
+    assert cache.srcstats.corruption_repairs == 1
+    assert cache.origin.stats.read_ops == origin_reads + 1
+    assert cache.srcstats.unrecoverable_errors == 0
+
+
+def test_corrupted_clean_block_uses_parity_in_pc():
+    cache = make_src(replace(TINY_SRC,
+                             clean_redundancy=CleanRedundancy.PC))
+    now, cap = fill_one_clean_segment(cache)
+    entry = cache.mapping.lookup(0)
+    ssd = cache.ssds[entry.location.ssd]
+    origin_reads = cache.origin.stats.read_ops
+    ssd.inject_corruption(entry.location.offset, PAGE_SIZE)
+    cache.read(0, PAGE_SIZE, now + 1.0)
+    assert cache.srcstats.parity_reconstructions == 1
+    assert cache.origin.stats.read_ops == origin_reads
+
+
+# ------------------------------------------------------------------
+# SSD fail-stop
+# ------------------------------------------------------------------
+def test_degraded_read_of_dirty_data_reconstructs():
+    cache = make_src()
+    now, cap = fill_one_dirty_segment(cache)
+    entry = cache.mapping.lookup(0)
+    cache.ssds[entry.location.ssd].fail()
+    end = cache.read(0, PAGE_SIZE, now + 1.0)
+    assert cache.srcstats.degraded_reads == 1
+    assert cache.srcstats.parity_reconstructions == 1
+    assert cache.srcstats.unrecoverable_errors == 0
+
+
+def test_degraded_read_of_npc_clean_falls_back_to_origin():
+    cache = make_src()
+    now, cap = fill_one_clean_segment(cache)
+    entry = cache.mapping.lookup(0)
+    cache.ssds[entry.location.ssd].fail()
+    origin_reads = cache.origin.stats.read_ops
+    cache.read(0, PAGE_SIZE, now + 1.0)
+    assert cache.srcstats.degraded_reads == 1
+    assert cache.origin.stats.read_ops == origin_reads + 1
+    assert cache.srcstats.unrecoverable_errors == 0   # clean data is safe
+
+
+def test_raid0_dirty_loss_is_unrecoverable():
+    cache = make_src(replace(TINY_SRC, raid_level=0))
+    now, cap = fill_one_dirty_segment(cache)
+    entry = cache.mapping.lookup(0)
+    cache.ssds[entry.location.ssd].fail()
+    cache.read(0, PAGE_SIZE, now + 1.0)
+    assert cache.srcstats.unrecoverable_errors == 1
+
+
+def test_writes_continue_degraded():
+    cache = make_src()
+    cache.ssds[2].fail()
+    now, cap = fill_one_dirty_segment(cache)
+    assert cache.srcstats.segment_writes >= 1
+    assert cache.ssds[2].stats.write_ops == 0
+
+
+def test_rebuild_restores_parity_protected_units():
+    cache = make_src()
+    now, cap = fill_one_dirty_segment(cache)
+    cache.flush_partial(now)
+    victim = 1
+    cache.ssds[victim].fail()
+    cache.ssds[victim].repair()
+    end = cache.rebuild_ssd(victim, now + 1.0)
+    assert end > now + 1.0
+    assert cache.ssds[victim].stats.write_ops > 0
+
+
+def test_rebuild_drops_npc_clean_of_lost_ssd():
+    cache = make_src()
+    now, cap = fill_one_clean_segment(cache)
+    lost_ssd = cache.mapping.lookup(0).location.ssd
+    before = cache.mapping.valid_blocks()
+    cache.ssds[lost_ssd].fail()
+    cache.ssds[lost_ssd].repair()
+    cache.rebuild_ssd(lost_ssd, now + 1.0)
+    assert cache.mapping.valid_blocks() < before
+
+
+def test_rebuild_requires_live_ssd():
+    from repro.common.errors import RaidDegradedError
+    cache = make_src()
+    cache.ssds[0].fail()
+    with pytest.raises(RaidDegradedError):
+        cache.rebuild_ssd(0, 0.0)

@@ -1,0 +1,100 @@
+"""Resource timelines — the simulation core."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.sim.timeline import Link, Timeline
+
+
+def test_single_server_serializes():
+    t = Timeline(1)
+    b1, e1 = t.acquire(0.0, 1.0)
+    b2, e2 = t.acquire(0.0, 1.0)
+    assert (b1, e1) == (0.0, 1.0)
+    assert (b2, e2) == (1.0, 2.0)
+
+
+def test_two_servers_run_in_parallel():
+    t = Timeline(2)
+    _, e1 = t.acquire(0.0, 1.0)
+    _, e2 = t.acquire(0.0, 1.0)
+    assert e1 == 1.0 and e2 == 1.0
+
+
+def test_idle_gap_respected():
+    t = Timeline(1)
+    t.acquire(0.0, 1.0)
+    b, e = t.acquire(5.0, 1.0)
+    assert b == 5.0 and e == 6.0
+
+
+def test_busy_time_accumulates():
+    t = Timeline(1)
+    t.acquire(0.0, 1.5)
+    t.acquire(0.0, 0.5)
+    assert t.busy_time == pytest.approx(2.0)
+
+
+def test_drain_time():
+    t = Timeline(2)
+    t.acquire(0.0, 1.0)
+    t.acquire(0.0, 3.0)
+    assert t.drain_time() == pytest.approx(3.0)
+
+
+def test_negative_duration_rejected():
+    with pytest.raises(ValueError):
+        Timeline(1).acquire(0.0, -1.0)
+
+
+def test_zero_servers_rejected():
+    with pytest.raises(ConfigError):
+        Timeline(0)
+
+
+def test_reset():
+    t = Timeline(2)
+    t.acquire(0.0, 5.0)
+    t.reset()
+    assert t.next_free() == 0.0
+    assert t.busy_time == 0.0
+
+
+@given(st.lists(st.tuples(st.floats(0, 100), st.floats(0, 10)),
+                min_size=1, max_size=50),
+       st.integers(1, 4))
+def test_acquire_never_starts_before_request(ops, servers):
+    t = Timeline(servers)
+    for start, duration in ops:
+        begin, end = t.acquire(start, duration)
+        assert begin >= start
+        assert end == pytest.approx(begin + duration)
+
+
+def test_link_transfer_time():
+    link = Link(100.0, latency_s=0.5)   # 100 B/s
+    b, e = link.transfer(0.0, 100)
+    assert b == 0.0
+    assert e == pytest.approx(1.5)
+    assert link.bytes_moved == 100
+
+
+def test_link_serializes_transfers():
+    link = Link(100.0)
+    _, e1 = link.transfer(0.0, 100)
+    _, e2 = link.transfer(0.0, 100)
+    assert e2 == pytest.approx(e1 + 1.0)
+
+
+def test_link_requires_positive_bandwidth():
+    with pytest.raises(ConfigError):
+        Link(0.0)
+
+
+def test_link_reset():
+    link = Link(100.0)
+    link.transfer(0.0, 500)
+    link.reset()
+    assert link.bytes_moved == 0
+    assert link.drain_time() == 0.0

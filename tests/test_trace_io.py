@@ -1,0 +1,94 @@
+"""MSR trace format parsing, wrapping, and export."""
+
+import io
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.types import Op
+from repro.common.units import PAGE_SIZE
+from repro.workloads.trace_io import (TraceRecord, export_synthetic,
+                                      parse_msr_line, read_msr_trace,
+                                      requests_from_records,
+                                      write_msr_trace,
+                                      WINDOWS_TICKS_PER_SECOND)
+
+SAMPLE = """128166372003061629,usr,0,Read,7014609920,24576,41286
+128166372016853751,usr,0,Write,2311208960,4096,123763
+128166372026580227,usr,0,Read,1331775488,32768,42143
+"""
+
+
+def test_parse_line_fields():
+    record = parse_msr_line(SAMPLE.splitlines()[0])
+    assert record.hostname == "usr"
+    assert record.op is Op.READ
+    assert record.offset == 7014609920
+    assert record.size == 24576
+
+
+def test_parse_rejects_malformed():
+    with pytest.raises(ConfigError):
+        parse_msr_line("1,2,3")
+    with pytest.raises(ConfigError):
+        parse_msr_line("1,usr,0,Scrub,0,4096,0")
+
+
+def test_read_trace_rebases_timestamps():
+    records = list(read_msr_trace(io.StringIO(SAMPLE)))
+    assert len(records) == 3
+    assert records[0].timestamp == 0.0
+    expected = (128166372016853751 - 128166372003061629) \
+        / WINDOWS_TICKS_PER_SECOND
+    assert records[1].timestamp == pytest.approx(expected)
+
+
+def test_read_trace_skips_comments_and_blanks():
+    text = "# header\n\n" + SAMPLE
+    assert len(list(read_msr_trace(io.StringIO(text)))) == 3
+
+
+def test_to_request_aligns():
+    record = TraceRecord(0.0, "h", 0, Op.WRITE, 5000, 1000)
+    request = record.to_request()
+    assert request.offset % PAGE_SIZE == 0
+    assert request.length % PAGE_SIZE == 0
+    assert request.offset <= 5000 < 5000 + 1000 <= request.end
+
+
+def test_requests_wrap_to_span():
+    records = list(read_msr_trace(io.StringIO(SAMPLE)))
+    span = 1 << 20
+    reqs = list(requests_from_records(records, span_limit=span))
+    assert all(r.end <= span for r in reqs)
+    assert len(reqs) == 3
+
+
+def test_requests_drop_oversized_when_wrapping():
+    record = TraceRecord(0.0, "h", 0, Op.READ, 0, 1 << 21)
+    reqs = list(requests_from_records([record], span_limit=1 << 20))
+    assert reqs == []
+
+
+def test_write_then_read_roundtrip():
+    records = list(read_msr_trace(io.StringIO(SAMPLE)))
+    sink = io.StringIO()
+    count = write_msr_trace(records, sink)
+    assert count == 3
+    back = list(read_msr_trace(io.StringIO(sink.getvalue())))
+    assert [(r.op, r.offset, r.size) for r in back] == \
+        [(r.op, r.offset, r.size) for r in records]
+
+
+def test_export_synthetic_produces_parseable_csv():
+    sink = io.StringIO()
+    count = export_synthetic("mds0", 50, sink, scale=1 / 256, seed=1)
+    assert count == 50
+    back = list(read_msr_trace(io.StringIO(sink.getvalue())))
+    assert len(back) == 50
+    assert all(r.size % PAGE_SIZE == 0 for r in back)
+
+
+def test_export_unknown_trace_rejected():
+    with pytest.raises(ConfigError):
+        export_synthetic("nope", 10, io.StringIO())

@@ -1,0 +1,82 @@
+"""Request and statistics types."""
+
+import pytest
+
+from repro.common.types import (IoStats, LatencyStats, Op, Request, flush,
+                                read, trim, write)
+from repro.common.units import PAGE_SIZE
+
+
+def test_request_end():
+    req = read(4096, 8192)
+    assert req.end == 12288
+
+
+def test_request_pages_aligned():
+    req = read(0, 2 * PAGE_SIZE)
+    assert list(req.pages()) == [0, 1]
+
+
+def test_request_pages_unaligned_spans_extra_page():
+    req = read(PAGE_SIZE // 2, PAGE_SIZE)
+    assert list(req.pages()) == [0, 1]
+
+
+def test_negative_offset_rejected():
+    with pytest.raises(ValueError):
+        Request(Op.READ, -1, 4096)
+
+
+def test_flush_with_length_rejected():
+    with pytest.raises(ValueError):
+        Request(Op.FLUSH, 0, 4096)
+
+
+def test_flush_helper():
+    req = flush()
+    assert req.op is Op.FLUSH
+    assert req.length == 0
+
+
+def test_fua_flag():
+    req = write(0, 4096, fua=True)
+    assert req.fua
+
+
+def test_iostats_record_and_totals():
+    stats = IoStats()
+    stats.record(read(0, 4096))
+    stats.record(write(0, 8192))
+    stats.record(flush())
+    stats.record(trim(0, 4096))
+    assert stats.read_bytes == 4096
+    assert stats.write_bytes == 8192
+    assert stats.total_bytes == 12288
+    assert stats.flush_ops == 1
+    assert stats.trim_ops == 1
+    assert stats.total_ops == 4
+
+
+def test_iostats_delta():
+    stats = IoStats()
+    stats.record(write(0, 4096))
+    snap = stats.snapshot()
+    stats.record(write(0, 4096))
+    stats.record(read(0, 4096))
+    delta = stats.delta(snap)
+    assert delta.write_bytes == 4096
+    assert delta.read_bytes == 4096
+    assert delta.write_ops == 1
+
+
+def test_latency_stats():
+    lat = LatencyStats()
+    for v in (0.1, 0.3, 0.2):
+        lat.record(v)
+    assert lat.count == 3
+    assert lat.max == pytest.approx(0.3)
+    assert lat.mean == pytest.approx(0.2)
+
+
+def test_latency_stats_empty_mean():
+    assert LatencyStats().mean == 0.0

@@ -1,0 +1,48 @@
+"""Units and conversions."""
+
+import pytest
+
+from repro.common import units
+
+
+def test_binary_units_chain():
+    assert units.MIB == 1024 * units.KIB
+    assert units.GIB == 1024 * units.MIB
+    assert units.TIB == 1024 * units.GIB
+
+
+def test_decimal_units_differ_from_binary():
+    assert units.MB == 1_000_000
+    assert units.MIB == 1_048_576
+    assert units.MB < units.MIB
+
+
+def test_sectors_rounds_up():
+    assert units.sectors(0) == 0
+    assert units.sectors(1) == 1
+    assert units.sectors(512) == 1
+    assert units.sectors(513) == 2
+
+
+def test_pages_rounds_up():
+    assert units.pages(0) == 0
+    assert units.pages(1) == 1
+    assert units.pages(4096) == 1
+    assert units.pages(4097) == 2
+    assert units.pages(3 * 4096) == 3
+
+
+def test_mb_per_sec():
+    assert units.mb_per_sec(10_000_000, 10.0) == pytest.approx(1.0)
+
+
+def test_mb_per_sec_zero_time_is_zero():
+    assert units.mb_per_sec(123, 0.0) == 0.0
+    assert units.mb_per_sec(123, -1.0) == 0.0
+
+
+def test_fmt_bytes():
+    assert units.fmt_bytes(512) == "512B"
+    assert units.fmt_bytes(2048) == "2.0KiB"
+    assert units.fmt_bytes(3 * units.MIB) == "3.0MiB"
+    assert units.fmt_bytes(5 * units.GIB) == "5.0GiB"

@@ -1,0 +1,74 @@
+"""Wear accounting and lifetime projection."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.units import MIB
+from repro.ssd.device import SSDDevice, precondition
+from repro.ssd.wear import (array_wear_summary, projected_lifetime_seconds,
+                            wear_report)
+
+from _stacks import TINY_SSD
+
+
+def worn_ssd():
+    ssd = SSDDevice(TINY_SSD)
+    precondition(ssd, fill_fraction=0.9)
+    now = 0.0
+    for _ in range(3):
+        for offset in range(0, int(ssd.size * 0.9), 1 * MIB):
+            now = ssd.write(offset, 1 * MIB, now)
+    return ssd, now
+
+
+def test_wear_report_counts_programs():
+    ssd, _ = worn_ssd()
+    report = wear_report(ssd)
+    assert report.bytes_programmed >= report.host_bytes_written
+    assert report.write_amplification >= 1.0
+    assert report.erase_count_max >= 1
+
+
+def test_consumed_fraction_grows_with_writes():
+    ssd = SSDDevice(TINY_SSD)
+    before = wear_report(ssd).consumed_fraction
+    now = 0.0
+    for offset in range(0, 16 * MIB, 1 * MIB):
+        now = ssd.write(offset, 1 * MIB, now)
+    assert wear_report(ssd).consumed_fraction > before
+
+
+def test_evenness_bounded():
+    ssd, _ = worn_ssd()
+    report = wear_report(ssd)
+    assert 0.0 < report.wear_evenness <= 1.0
+
+
+def test_fresh_drive_projects_infinite_life():
+    ssd = SSDDevice(TINY_SSD)
+    assert projected_lifetime_seconds(ssd, 10.0) == float("inf")
+
+
+def test_projection_shrinks_with_more_writes():
+    ssd_light = SSDDevice(TINY_SSD)
+    ssd_light.write(0, 4 * MIB, 0.0)
+    ssd_heavy, elapsed = worn_ssd()
+    light = projected_lifetime_seconds(ssd_light, 10.0)
+    heavy = projected_lifetime_seconds(ssd_heavy, 10.0)
+    assert heavy < light
+
+
+def test_projection_rejects_bad_elapsed():
+    ssd = SSDDevice(TINY_SSD)
+    with pytest.raises(ConfigError):
+        projected_lifetime_seconds(ssd, 0.0)
+
+
+def test_array_summary_aggregates():
+    a, _ = worn_ssd()
+    b = SSDDevice(TINY_SSD)
+    summary = array_wear_summary([a, b])
+    assert summary["drives"] == 2
+    assert summary["total_programmed"] >= a.bytes_programmed
+    assert 0 < summary["worst_evenness"] <= 1.0
+    assert summary["mean_write_amplification"] >= 1.0
