@@ -1,7 +1,6 @@
 """Bench: Figure 6 — cost-effectiveness of SATA RAID-5 vs single NVMe."""
 
 from repro.harness import exp_fig6
-from repro.cost.products import PRODUCTS
 
 from _bench_utils import emit, run_once
 

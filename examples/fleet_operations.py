@@ -14,7 +14,7 @@ Run:  python examples/fleet_operations.py   (~1 min)
 
 from repro import (PrimaryStorage, SATA_MLC_128, SSDDevice, SrcCache,
                    SrcConfig, precondition)
-from repro.common.units import GIB, MIB, PAGE_SIZE
+from repro.common.units import GIB, MIB
 from repro.core.scaling import contract_array, expand_array
 from repro.ssd.wear import (array_wear_summary,
                             projected_lifetime_seconds, wear_report)

@@ -4,20 +4,25 @@
 Builds the paper's platform at 1/64 scale — four preconditioned
 commodity SATA SSDs caching an iSCSI RAID-10 backend — pushes a small
 mixed workload through it, and prints the metrics the paper reports
-(throughput, I/O amplification, hit ratio), plus the cache's internal
-accounting.
+(throughput, I/O amplification, hit ratio) through the unified
+``repro.obs`` stats API, plus a peek at the GC event trace.
 
 Run:  python examples/quickstart.py
 """
 
+import repro.obs as obs
 from repro import (PrimaryStorage, SATA_MLC_128, SSDDevice, SrcCache,
                    SrcConfig, precondition)
-from repro.common.units import GIB, KIB, MIB, PAGE_SIZE, mb_per_sec
+from repro.common.units import GIB, KIB, MIB, mb_per_sec
 
 SCALE = 1 / 64
 
 
 def main() -> None:
+    # 0. An observability recorder: metrics, events and per-device
+    #    latency histograms for everything attached to it.
+    recorder = obs.ObsRecorder()
+
     # 1. Four commodity SSDs, preconditioned to steady state (§5.1).
     spec = SATA_MLC_128.scaled(SCALE)
     ssds = [SSDDevice(spec, name=f"ssd{i}") for i in range(4)]
@@ -29,7 +34,7 @@ def main() -> None:
 
     # 3. SRC with the paper's defaults (Table 7), 18 GB cache window.
     config = SrcConfig(cache_space=18 * GIB).scaled(SCALE)
-    cache = SrcCache(ssds, origin, config)
+    cache = obs.attach(SrcCache(ssds, origin, config), recorder)
     print(f"SRC ready: {cache.layout.groups} segment groups of "
           f"{config.segment_group_size // MIB} MiB, segments of "
           f"{config.segment_size // KIB} KiB")
@@ -45,22 +50,36 @@ def main() -> None:
     for offset in range(0, span, 64 * KIB):           # read it back
         now = cache.read(offset, 64 * KIB, now)
 
-    # 5. Report.
-    app = cache.stats
-    print(f"\napplication I/O : {app.total_bytes // MIB} MiB "
-          f"({app.write_ops} writes, {app.read_ops} reads)")
+    # 5. Report — all through the unified stats API: `collect` walks
+    #    the device tree into one nested dict of `as_dict()` snapshots.
+    tree = obs.collect(cache)
+    app = tree["io"]
+    print(f"\napplication I/O : {app['total_bytes'] // MIB} MiB "
+          f"({app['write_ops']} writes, {app['read_ops']} reads)")
     print(f"simulated time  : {now:.2f} s "
-          f"(reads at {mb_per_sec(app.read_bytes, now - read_start):.0f} MB/s)")
-    print(f"hit ratio       : {cache.cstats.hit_ratio:.2f}")
+          f"(reads at {mb_per_sec(app['read_bytes'], now - read_start):.0f} MB/s)")
+    print(f"hit ratio       : {tree['cache']['hit_ratio']:.2f}")
     print(f"I/O amplification: {cache.io_amplification():.2f}")
-    print(f"cache utilization: {cache.utilization():.2f}")
-    print(f"segment writes  : {cache.srcstats.segment_writes} "
-          f"({cache.srcstats.partial_segment_writes} partial)")
+    print(f"cache utilization: {tree['utilization']:.2f}")
+    print(f"segment writes  : {tree['src']['segment_writes']} "
+          f"({tree['src']['partial_segment_writes']} partial)")
     print(f"mapping memory  : {cache.mapping.memory_bytes / 1024:.0f} KiB "
           f"for {cache.mapping.valid_blocks()} blocks")
-    for ssd in ssds:
-        print(f"  {ssd.name}: {ssd.stats.write_bytes // MIB} MiB written, "
-              f"FTL write amplification {ssd.write_amplification:.2f}")
+    for i, ssd in enumerate(ssds):
+        sub = tree["children"][f"ssds[{i}]"]
+        print(f"  {ssd.name}: {sub['io']['write_bytes'] // MIB} MiB "
+              f"written, FTL write amplification "
+              f"{sub['ftl']['write_amplification']:.2f}")
+
+    # 6. The recorder saw every GC cycle, erase, seal and destage.
+    counts = recorder.trace.counts()
+    print("\nevent trace     : "
+          + (", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+             or "no events"))
+    p99 = recorder.device_latency(cache.name)
+    if p99 is not None:
+        print(f"cache p99 latency: {p99.p99 * 1e3:.2f} ms "
+              f"over {p99.count} requests")
 
 
 if __name__ == "__main__":

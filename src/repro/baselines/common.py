@@ -10,11 +10,13 @@ RAID) arise from the model rather than being asserted.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields
 
 from repro.block.device import BlockDevice
 from repro.common.types import Op, Request
 from repro.common.units import PAGE_SIZE
+from repro.obs.events import Destage
+from repro.obs.recorder import NULL_RECORDER
 
 
 class WritePolicy(enum.Enum):
@@ -33,6 +35,17 @@ class CacheStats:
     destaged_blocks: int = 0
     evicted_clean_blocks: int = 0
     fills: int = 0
+
+    def as_dict(self) -> dict:
+        data = dict(self.__dict__)
+        data["hit_ratio"] = self.hit_ratio
+        data["read_hit_ratio"] = self.read_hit_ratio
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CacheStats":
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
 
     @property
     def lookups(self) -> int:
@@ -54,6 +67,15 @@ class CacheStats:
 
     def copy(self) -> "CacheStats":
         return CacheStats(**self.__dict__)
+
+    def snapshot(self) -> "CacheStats":
+        """Point-in-time copy (the unified stats-protocol spelling)."""
+        return self.copy()
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        """Counters accumulated since ``earlier`` was snapshotted."""
+        return CacheStats(**{k: v - getattr(earlier, k)
+                             for k, v in self.__dict__.items()})
 
     def window_hit_ratio(self, earlier: "CacheStats") -> float:
         """Hit ratio accumulated since ``earlier`` was copied."""
@@ -79,6 +101,7 @@ class WritebackScheduler:
         self.batch_blocks = batch_blocks
         self._pending: set = set()
         self.destaged = 0
+        self.obs = NULL_RECORDER
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -106,6 +129,10 @@ class WritebackScheduler:
             if lba is not None:
                 run_start = prev = lba
         self.destaged += len(lbas)
+        if self.obs.enabled:
+            self.obs.emit(Destage(t=end,
+                                  device=f"writeback({self.origin.name})",
+                                  blocks=len(lbas)))
         return end
 
 

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional
 from repro.baselines.common import CacheTarget, WritePolicy, WritebackScheduler
 from repro.block.device import BlockDevice
 from repro.common.errors import ConfigError
-from repro.common.units import KIB, MIB, PAGE_SIZE
+from repro.common.units import MIB, PAGE_SIZE
 
 
 @dataclass

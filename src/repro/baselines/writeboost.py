@@ -18,8 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from repro.baselines.common import (CacheTarget, WritePolicy,
-                                    WritebackScheduler)
+from repro.baselines.common import CacheTarget, WritebackScheduler
 from repro.block.device import BlockDevice
 from repro.common.errors import ConfigError
 from repro.common.types import Op, Request

@@ -16,6 +16,8 @@ from typing import List
 
 from repro.common.errors import AddressError
 from repro.common.types import IoStats, Op, Request
+from repro.obs.metrics import Histogram
+from repro.obs.recorder import NULL_RECORDER
 
 
 class BlockDevice(abc.ABC):
@@ -25,6 +27,7 @@ class BlockDevice(abc.ABC):
         self.size = size
         self.name = name or type(self).__name__
         self.stats = IoStats()
+        self.obs = NULL_RECORDER
 
     @abc.abstractmethod
     def _service(self, req: Request, now: float) -> float:
@@ -37,7 +40,10 @@ class BlockDevice(abc.ABC):
                 f"{self.name}: request [{req.offset}, {req.end}) beyond "
                 f"device size {self.size}")
         self.stats.record(req)
-        return self._service(req, now)
+        done = self._service(req, now)
+        if self.obs.enabled:
+            self.obs.observe_io(self, req, now, done)
+        return done
 
     # Convenience helpers used heavily by tests and examples.
     def read(self, offset: int, length: int, now: float) -> float:
@@ -94,15 +100,33 @@ class StatsDevice(BlockDevice):
 
     Interposed between layers to measure I/O amplification: the paper's
     amplification metric is (bytes observed at the cache-device layer) /
-    (bytes requested by the application).
+    (bytes requested by the application) — :meth:`amplification` divides
+    this tap's observed bytes by the application byte count.  Every
+    request's service latency (completion − issue time) is recorded in
+    the log-scale :attr:`latency` histogram.
     """
 
     def __init__(self, lower: BlockDevice, name: str = ""):
         super().__init__(lower.size, name or f"stats({lower.name})")
         self.lower = lower
+        self.latency = Histogram(f"{self.name}.latency_s")
 
     def _service(self, req: Request, now: float) -> float:
-        return self.lower.submit(req, now)
+        done = self.lower.submit(req, now)
+        self.latency.record(done - now)
+        return done
+
+    def amplification(self, app_bytes: int) -> float:
+        """Observed-here bytes per application byte (the paper's metric).
+
+        ``app_bytes`` is the application-level byte count the traffic
+        through this tap amplifies; 0 when nothing was requested yet.
+        """
+        return self.stats.total_bytes / app_bytes if app_bytes else 0.0
+
+    def snapshot_bytes(self) -> int:
+        """Current observed byte total (for windowed amplification)."""
+        return self.stats.total_bytes
 
 
 def total_bytes(devices: List[BlockDevice]) -> int:

@@ -3,16 +3,24 @@
 Commands
 --------
 experiments              list the reproducible tables/figures
-run <exp-id>             run one experiment and print its table
+run <exp-id> [...]       run experiments; ``--format json`` adds telemetry
+trace <exp-id>           run one experiment and dump its event trace
 report [out.md]          run everything, write the experiments report
 replay <group>           replay a trace group against a chosen target
 export-trace <name> ...  materialise a synthetic trace as MSR CSV
+
+Every run-like command accepts the scale flags ``--scale`` (a float or
+a fraction such as ``1/32``), ``--seed``, ``--warmup`` and
+``--duration``; ``--quick`` selects the cheaper preset as the base the
+flags override.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib
 import sys
+from dataclasses import replace
 
 from repro.harness.context import DEFAULT_SCALE, QUICK_SCALE, ExperimentScale
 
@@ -38,9 +46,50 @@ EXPERIMENTS = {
                 "supplementary: latency percentiles per scheme"),
 }
 
+# Sampling cadence (simulated seconds) for ``--format json`` telemetry.
+SAMPLE_INTERVAL = 0.25
+
+
+def _parse_scale(text: str) -> float:
+    """Accept either a float (``0.03125``) or a fraction (``1/32``)."""
+    if "/" in text:
+        num, _, den = text.partition("/")
+        try:
+            return float(num) / float(den)
+        except (ValueError, ZeroDivisionError) as exc:
+            raise argparse.ArgumentTypeError(
+                f"bad scale fraction {text!r}") from exc
+    try:
+        return float(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad scale {text!r}") from exc
+
+
+def _add_scale_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--quick", action="store_true",
+                        help="use the smaller/faster preset as the base")
+    parser.add_argument("--scale", type=_parse_scale, default=None,
+                        metavar="FRAC",
+                        help="device/footprint scale, e.g. 1/32 or 0.03125")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="workload RNG seed")
+    parser.add_argument("--warmup", type=float, default=None,
+                        metavar="SECONDS",
+                        help="unmeasured simulated warm-up window")
+    parser.add_argument("--duration", type=float, default=None,
+                        metavar="SECONDS",
+                        help="measured simulated window")
+
 
 def _scale_from(args) -> ExperimentScale:
-    return QUICK_SCALE if args.quick else DEFAULT_SCALE
+    """Build the preset: ``--quick`` picks the base, flags override it."""
+    es = QUICK_SCALE if getattr(args, "quick", False) else DEFAULT_SCALE
+    overrides = {}
+    for name in ("scale", "seed", "warmup", "duration"):
+        value = getattr(args, name, None)
+        if value is not None:
+            overrides[name] = value
+    return replace(es, **overrides) if overrides else es
 
 
 def cmd_experiments(_args) -> int:
@@ -50,21 +99,85 @@ def cmd_experiments(_args) -> int:
     return 0
 
 
+def _run_one(exp_id: str, es: ExperimentScale):
+    """Run one experiment id, returning ExperimentResult(s)."""
+    module_name, _ = EXPERIMENTS[exp_id]
+    module = importlib.import_module(module_name)
+    if exp_id == "tables4-12":
+        return [module.run_table4(), module.run_table12()]
+    return [module.run(es)]
+
+
 def cmd_run(args) -> int:
+    unknown = [e for e in args.experiments if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s) {', '.join(map(repr, unknown))}; "
+              f"see 'python -m repro experiments'", file=sys.stderr)
+        return 2
+    es = _scale_from(args)
+
+    if args.format == "table":
+        first = True
+        for exp_id in args.experiments:
+            for result in _run_one(exp_id, es):
+                if not first:
+                    print()
+                print(result.render())
+                first = False
+        return 0
+
+    # --format json: observe each experiment with its own recorder so
+    # telemetry (per-device latency, GC events, samples) is per-run.
+    from repro.obs import ObsRecorder, to_json, use
+    payloads = []
+    for exp_id in args.experiments:
+        recorder = ObsRecorder(sample_interval=SAMPLE_INTERVAL)
+        with use(recorder):
+            results = _run_one(exp_id, es)
+        payloads.append({
+            "id": exp_id,
+            "results": [r.as_dict() for r in results],
+            "telemetry": recorder.telemetry(),
+        })
+    out = payloads[0] if len(payloads) == 1 else payloads
+    print(to_json(out))
+    return 0
+
+
+def cmd_trace(args) -> int:
     if args.experiment not in EXPERIMENTS:
         print(f"unknown experiment {args.experiment!r}; see "
               f"'python -m repro experiments'", file=sys.stderr)
         return 2
-    module_name, _ = EXPERIMENTS[args.experiment]
-    import importlib
-    module = importlib.import_module(module_name)
-    if args.experiment == "tables4-12":
-        print(module.run_table4().render())
-        print()
-        print(module.run_table12().render())
+    from repro.obs import ObsRecorder, events_to_csv, use
+    es = _scale_from(args)
+    recorder = ObsRecorder()
+    with use(recorder):
+        _run_one(args.experiment, es)
+
+    events = recorder.trace.events
+    if args.type:
+        events = [e for e in events if e.kind == args.type]
+    counts = recorder.trace.counts()
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    print(f"# {args.experiment}: {len(recorder.trace)} events recorded "
+          f"({recorder.trace.dropped} dropped): {summary or 'none'}")
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8", newline="") as sink:
+            events_to_csv(events, sink)
+        print(f"# wrote {len(events)} events to {args.csv}")
         return 0
-    result = module.run(_scale_from(args))
-    print(result.render())
+    shown = events if args.limit <= 0 else events[:args.limit]
+    for event in shown:
+        data = event.as_dict()
+        extras = " ".join(
+            f"{k}={v}" for k, v in data.items()
+            if k not in ("type", "t", "device"))
+        print(f"{data['t']:>12.6f}  {data['type']:<16} "
+              f"{data['device']:<24} {extras}".rstrip())
+    hidden = len(events) - len(shown)
+    if hidden > 0:
+        print(f"# ... {hidden} more (raise --limit or use --csv)")
     return 0
 
 
@@ -96,6 +209,22 @@ def cmd_replay(args) -> int:
         print(f"unknown target {args.target!r} "
               f"(src | bcache5 | flashcache5)", file=sys.stderr)
         return 2
+    if args.format == "json":
+        from repro.obs import ObsRecorder, collect, to_json, use
+        recorder = ObsRecorder(sample_interval=SAMPLE_INTERVAL)
+        with use(recorder):
+            target = builders[args.target]()
+            result = replay_group(target, args.group,
+                                  scale=es.scale, duration=es.duration,
+                                  warmup=es.warmup, seed=es.seed)
+        print(to_json({
+            "target": args.target,
+            "group": args.group,
+            "result": result.as_dict(),
+            "devices": collect(target),
+            "telemetry": recorder.telemetry(),
+        }))
+        return 0
     result = replay_group(builders[args.target](), args.group,
                           scale=es.scale, duration=es.duration,
                           warmup=es.warmup, seed=es.seed)
@@ -123,19 +252,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("experiments", help="list reproducible experiments")
 
-    run = sub.add_parser("run", help="run one experiment")
-    run.add_argument("experiment")
-    run.add_argument("--quick", action="store_true",
-                     help="smaller/faster preset")
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument("experiments", nargs="+", metavar="experiment")
+    run.add_argument("--format", choices=("table", "json"),
+                     default="table",
+                     help="table (default) or json with telemetry")
+    _add_scale_flags(run)
+
+    trace = sub.add_parser(
+        "trace", help="run one experiment, dump its event trace")
+    trace.add_argument("experiment")
+    trace.add_argument("--limit", type=int, default=50,
+                       help="max events to print (<=0 for all)")
+    trace.add_argument("--type", default=None,
+                       help="only events of this type (e.g. GcStart)")
+    trace.add_argument("--csv", default=None, metavar="FILE",
+                       help="write the filtered events as CSV instead")
+    _add_scale_flags(trace)
 
     report = sub.add_parser("report", help="run everything, write report")
     report.add_argument("output", nargs="?", default="EXPERIMENTS.md")
-    report.add_argument("--quick", action="store_true")
+    _add_scale_flags(report)
 
     replay = sub.add_parser("replay", help="replay a trace group")
     replay.add_argument("group", choices=["write", "mixed", "read"])
     replay.add_argument("--target", default="src")
-    replay.add_argument("--quick", action="store_true")
+    replay.add_argument("--format", choices=("table", "json"),
+                        default="table")
+    _add_scale_flags(replay)
 
     export = sub.add_parser("export-trace",
                             help="export a synthetic trace as MSR CSV")
@@ -153,6 +297,7 @@ def main(argv=None) -> int:
     handlers = {
         "experiments": cmd_experiments,
         "run": cmd_run,
+        "trace": cmd_trace,
         "report": cmd_report,
         "replay": cmd_replay,
         "export-trace": cmd_export_trace,

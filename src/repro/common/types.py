@@ -8,7 +8,7 @@ Simulated devices consume a request and return the completion time.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.common.units import PAGE_SIZE
 
@@ -102,6 +102,17 @@ class IoStats:
     def total_ops(self) -> int:
         return self.read_ops + self.write_ops + self.flush_ops + self.trim_ops
 
+    def as_dict(self) -> dict:
+        data = dict(self.__dict__)
+        data["total_bytes"] = self.total_bytes
+        data["total_ops"] = self.total_ops
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IoStats":
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
     def snapshot(self) -> "IoStats":
         return IoStats(
             self.read_bytes, self.write_bytes, self.read_ops,
@@ -167,5 +178,19 @@ class LatencyStats:
         return self.percentile(0.50)
 
     @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
     def p99(self) -> float:
         return self.percentile(0.99)
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }

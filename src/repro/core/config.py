@@ -8,7 +8,7 @@ data (NPC), RAID-5, flush per Segment Group.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import ConfigError
 from repro.common.units import KIB, MIB, PAGE_SIZE

@@ -9,7 +9,7 @@ blocks it currently holds so victims can be enumerated in O(valid).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.layout import BlockLocation
 

@@ -20,7 +20,6 @@ from repro.common.errors import RecoveryError
 from repro.common.types import Op, Request
 from repro.common.units import PAGE_SIZE
 from repro.core.config import SrcConfig
-from repro.core.layout import SegmentLayout
 from repro.core.mapping import CacheEntry
 from repro.core.metadata import MetadataStore
 from repro.core.src import SrcCache, _GroupState

@@ -15,13 +15,10 @@ migration I/O competes with foreground traffic exactly like GC does.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import List, Tuple
+from typing import Tuple
 
 from repro.block.device import BlockDevice
 from repro.common.errors import ConfigError
-from repro.common.types import Op, Request
-from repro.common.units import PAGE_SIZE
-from repro.core.config import SrcConfig
 from repro.core.src import SrcCache
 
 

@@ -20,10 +20,10 @@ The cache target that ties the pieces together:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields
 from typing import Dict, List, Optional, Tuple
 
-from repro.baselines.common import CacheStats, CacheTarget
+from repro.baselines.common import CacheTarget
 from repro.block.device import BlockDevice
 from repro.common.checksum import block_checksum
 from repro.common.errors import ConfigError, RaidDegradedError
@@ -33,10 +33,12 @@ from repro.core.buffers import SegmentBuffer, StagingBuffer
 from repro.core.config import (CleanRedundancy, FlushPoint, GcScheme,
                                SrcConfig, VictimPolicy)
 from repro.core.hotness import HotnessBitmap
-from repro.core.layout import BlockLocation, SegmentLayout
+from repro.core.layout import SegmentLayout
 from repro.core.mapping import CacheEntry, MappingTable
 from repro.core.metadata import (MetadataStore, SegmentSummary, Superblock,
                                  SRC_MAGIC)
+from repro.obs.events import (DegradedRead, Destage, FlushBarrier, GcEnd,
+                              GcStart, RebuildProgress, SegmentSealed)
 
 RAM_LATENCY = 2e-6  # buffer hit / insert latency
 
@@ -59,6 +61,22 @@ class SrcStats:
     degraded_reads: int = 0
     unrecoverable_errors: int = 0
     timeout_flushes: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SrcStats":
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
+    def snapshot(self) -> "SrcStats":
+        return SrcStats(**self.__dict__)
+
+    def delta(self, earlier: "SrcStats") -> "SrcStats":
+        """Counters accumulated since ``earlier`` was snapshotted."""
+        return SrcStats(**{k: v - getattr(earlier, k)
+                           for k, v in self.__dict__.items()})
 
 
 class _GroupState:
@@ -277,6 +295,8 @@ class SrcCache(CacheTarget):
                        now: float) -> float:
         """Serve a read whose home SSD has failed."""
         self.srcstats.degraded_reads += 1
+        if self.obs.enabled:
+            self.obs.emit(DegradedRead(t=now, device=self.name, lba=block))
         if self._segment_has_parity(entry):
             self.srcstats.parity_reconstructions += 1
             end = self._stripe_read(entry, now, skip_ssd=entry.location.ssd)
@@ -372,6 +392,11 @@ class SrcCache(CacheTarget):
         self.srcstats.segment_writes += 1
         if partial:
             self.srcstats.partial_segment_writes += 1
+        if self.obs.enabled:
+            self.obs.emit(SegmentSealed(
+                t=end, device=self.name, sg=sg, segment=segment,
+                dirty=dirty, with_parity=with_parity,
+                blocks=len(blocks), partial=partial))
 
         # flush control (§4.1): per segment, or per SG boundary.
         if (self.config.flush_point is FlushPoint.PER_SEGMENT
@@ -419,6 +444,8 @@ class SrcCache(CacheTarget):
             if self._alive(idx):
                 end = max(end, ssd.submit(Request(Op.FLUSH), now))
         self.srcstats.flush_commands += 1
+        if self.obs.enabled:
+            self.obs.emit(FlushBarrier(t=now, device=self.name))
         return end
 
     # ------------------------------------------------------------------
@@ -504,6 +531,9 @@ class SrcCache(CacheTarget):
                    and self.config.gc_scheme is GcScheme.SEL_GC
                    and self.utilization() <= self.config.u_max)
         blocks = self.mapping.sg_blocks(victim)
+        if self.obs.enabled:
+            self.obs.emit(GcStart(t=now, device=self.name, victim=victim,
+                                  valid_pages=len(blocks)))
         end = now
         if use_s2s:
             end = self._collect_s2s(victim, blocks, now)
@@ -520,6 +550,9 @@ class SrcCache(CacheTarget):
         group.next_segment = 0
         self._closed_fifo.remove(victim)
         self._free.insert(0, victim)
+        if self.obs.enabled:
+            self.obs.emit(GcEnd(t=end, device=self.name, victim=victim,
+                                moved_pages=len(blocks)))
         return end
 
     def _collect_s2d(self, victim: int, blocks, now: float) -> float:
@@ -591,6 +624,9 @@ class SrcCache(CacheTarget):
                 run_start = prev = lba
         self.srcstats.gc_destaged_blocks += len(lbas)
         self.cstats.destaged_blocks += len(lbas)
+        if self.obs.enabled:
+            self.obs.emit(Destage(t=end, device=self.name,
+                                  blocks=len(lbas)))
         return end
 
     def _bulk_read(self, victim: int, lbas: List[int], now: float) -> float:
@@ -685,7 +721,9 @@ class SrcCache(CacheTarget):
         if not self._alive(ssd_idx):
             raise RaidDegradedError("replace/repair the SSD before rebuild")
         end = now
-        for summary in self.metadata.all_summaries():
+        summaries = list(self.metadata.all_summaries())
+        done = 0
+        for summary in summaries:
             base = self.layout.unit_offset(summary.sg, summary.segment)
             length = self.layout.unit_blocks * PAGE_SIZE
             involved = (self.layout.data_ssds(summary.sg, summary.segment,
@@ -695,6 +733,11 @@ class SrcCache(CacheTarget):
                            if summary.with_parity else []))
             if ssd_idx not in involved:
                 continue
+            done += 1
+            if self.obs.enabled:
+                self.obs.emit(RebuildProgress(
+                    t=end, device=self.name, done=done,
+                    total=len(summaries)))
             if summary.with_parity:
                 step = now
                 for other in involved:

@@ -11,8 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List
 
-from repro.common.units import GB, GIB, MB, MIB, MSEC, USEC
-from repro.flash.timing import MLC_TIMING, NVME_MLC_TIMING, TLC_TIMING
+from repro.common.units import GB, GIB, MB
+from repro.flash.timing import MLC_TIMING, TLC_TIMING
 from repro.ssd.spec import NVME_MLC_400, SATA_MLC_128, SATA_TLC_128, SsdSpec
 
 

@@ -12,7 +12,7 @@ finish in seconds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.baselines.bcache import BcacheDevice
@@ -23,6 +23,7 @@ from repro.common.units import GIB, KIB, MIB
 from repro.core.config import SrcConfig
 from repro.core.src import SrcCache
 from repro.hdd.backend import PrimaryStorage
+from repro.obs.recorder import attach as obs_attach
 from repro.raid.array import make_raid
 from repro.ssd.device import SSDDevice, precondition
 from repro.ssd.spec import SATA_MLC_128, SsdSpec
@@ -63,12 +64,13 @@ def build_ssds(scale: float, n: int = 4,
     ssds = [SSDDevice(scaled, name=f"{scaled.name}-{i}") for i in range(n)]
     for ssd in ssds:
         precondition(ssd, fill_fraction=fill)
+        obs_attach(ssd)
     return ssds
 
 
 def build_origin() -> PrimaryStorage:
     """The iSCSI RAID-10 backend (paper Table 1)."""
-    return PrimaryStorage()
+    return obs_attach(PrimaryStorage())
 
 
 def build_src(scale: float, config: Optional[SrcConfig] = None,
@@ -83,7 +85,7 @@ def build_src(scale: float, config: Optional[SrcConfig] = None,
     scaled_config = config.scaled(scale)
     ssds = ssds or build_ssds(scale, n=config.n_ssds, spec=spec)
     origin = origin or build_origin()
-    return SrcCache(ssds, origin, scaled_config)
+    return obs_attach(SrcCache(ssds, origin, scaled_config))
 
 
 def build_cache_window(scale: float, raid_level: int,
@@ -103,7 +105,8 @@ def build_cache_window(scale: float, raid_level: int,
     else:
         dev = make_raid(raid_level, list(ssds), chunk_size)
     window = min(dev.size, int(CACHE_SPACE * scale))
-    return LinearDevice(dev, 0, window, name=f"cache-window-r{raid_level}"), ssds
+    linear = LinearDevice(dev, 0, window, name=f"cache-window-r{raid_level}")
+    return obs_attach(linear), ssds
 
 
 def build_bcache(scale: float, raid_level: int = 5,
@@ -114,8 +117,9 @@ def build_bcache(scale: float, raid_level: int = 5,
     """Bcache5-style stack (bucket 2 MB, RAID chunk 4 KB, per §5.4)."""
     window, _ = build_cache_window(scale, raid_level, n=n)
     origin = origin or build_origin()
-    return BcacheDevice(window, origin, bucket_size=2 * MIB,
-                        policy=policy, writeback_percent=writeback_percent)
+    return obs_attach(BcacheDevice(window, origin, bucket_size=2 * MIB,
+                                   policy=policy,
+                                   writeback_percent=writeback_percent))
 
 
 def build_flashcache(scale: float, raid_level: int = 5,
@@ -126,6 +130,6 @@ def build_flashcache(scale: float, raid_level: int = 5,
     """Flashcache5-style stack (set 2 MB, RAID chunk 4 KB, per §5.4)."""
     window, _ = build_cache_window(scale, raid_level, n=n)
     origin = origin or build_origin()
-    return FlashcacheDevice(window, origin, set_size=2 * MIB,
-                            policy=policy,
-                            dirty_thresh_pct=dirty_thresh_pct)
+    return obs_attach(FlashcacheDevice(window, origin, set_size=2 * MIB,
+                                       policy=policy,
+                                       dirty_thresh_pct=dirty_thresh_pct))

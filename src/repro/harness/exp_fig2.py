@@ -14,7 +14,7 @@ from typing import List
 import numpy as np
 
 from repro.common.units import MIB, PAGE_SIZE, mb_per_sec
-from repro.harness.context import DEFAULT_SCALE, ExperimentScale, build_ssds
+from repro.harness.context import DEFAULT_SCALE, ExperimentScale
 from repro.harness.results import ExperimentResult
 from repro.ssd.device import SSDDevice, precondition
 from repro.ssd.spec import SATA_MLC_128

@@ -8,7 +8,6 @@ minimized at the small end (small units are more fully utilized).
 
 from __future__ import annotations
 
-from dataclasses import replace
 
 from repro.common.units import MIB
 from repro.core.config import SrcConfig

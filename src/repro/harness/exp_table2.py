@@ -9,9 +9,8 @@ write-back despite its durability risk.
 from __future__ import annotations
 
 from repro.baselines.common import WritePolicy
-from repro.harness.context import (CACHE_SPACE, DEFAULT_SCALE,
-                                   ExperimentScale, build_bcache,
-                                   build_flashcache, build_origin)
+from repro.harness.context import (CACHE_SPACE, DEFAULT_SCALE, ExperimentScale,
+                                   build_bcache, build_flashcache)
 from repro.harness.results import ExperimentResult, ratio
 from repro.harness.runner import run_fio_random_write
 

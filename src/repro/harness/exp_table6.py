@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import itertools
 
-from repro.common.units import GB, KB
+from repro.common.units import KB
 from repro.harness.context import DEFAULT_SCALE, ExperimentScale
 from repro.harness.results import ExperimentResult
 from repro.workloads.msr import TRACES, SyntheticTrace

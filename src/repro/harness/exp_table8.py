@@ -8,9 +8,10 @@ FIFO edges Greedy on Write/Mixed, Greedy wins on Read.
 
 from __future__ import annotations
 
+from repro.block.device import StatsDevice
 from repro.core.config import GcScheme, SrcConfig, VictimPolicy
 from repro.harness.context import (CACHE_SPACE, DEFAULT_SCALE,
-                                   ExperimentScale, build_src)
+                                   ExperimentScale, build_src, build_ssds)
 from repro.harness.results import ExperimentResult
 from repro.harness.runner import TRACE_GROUPS, run_trace_group
 
@@ -28,18 +29,29 @@ def run(es: ExperimentScale = DEFAULT_SCALE) -> ExperimentResult:
         title="Free space management, MB/s (I/O amplification)",
         columns=["Group"] + [name for name, _, _ in COMBOS],
     )
+    whole_run_amp = {}
     for group in TRACE_GROUPS:
         row = [group]
-        for _, scheme, victim in COMBOS:
+        for name, scheme, victim in COMBOS:
             config = SrcConfig(cache_space=CACHE_SPACE, gc_scheme=scheme,
                                victim_policy=victim, u_max=0.90)
-            cache = build_src(es.scale, config=config)
+            taps = [StatsDevice(s)
+                    for s in build_ssds(es.scale, n=config.n_ssds)]
+            cache = build_src(es.scale, config=config, ssds=taps)
             res = run_trace_group(cache, group, es)
             row.append(f"{res.throughput_mb_s:.1f} "
                        f"({res.io_amplification:.2f})")
+            if group == "write":
+                whole_run_amp[name] = sum(
+                    tap.amplification(cache.stats.total_bytes)
+                    for tap in taps)
         result.add_row(*row)
     result.notes.append("paper: Sel-GC > S2D on all groups; S2D has "
                         "lower amplification")
+    result.notes.append(
+        "whole-run SSD-tap amplification, Write group (incl. warm-up): "
+        + ", ".join(f"{name} {amp:.2f}"
+                    for name, amp in whole_run_amp.items()))
     return result
 
 

@@ -6,9 +6,10 @@ Paper shape: NPC outperforms PC on every group, with the largest gain
 
 from __future__ import annotations
 
+from repro.block.device import StatsDevice
 from repro.core.config import CleanRedundancy, SrcConfig
 from repro.harness.context import (CACHE_SPACE, DEFAULT_SCALE,
-                                   ExperimentScale, build_src)
+                                   ExperimentScale, build_src, build_ssds)
 from repro.harness.results import ExperimentResult
 from repro.harness.runner import TRACE_GROUPS, run_trace_group
 
@@ -20,18 +21,29 @@ def run(es: ExperimentScale = DEFAULT_SCALE) -> ExperimentResult:
               "(I/O amplification)",
         columns=["Group", "PC", "NPC"],
     )
+    whole_run_amp = {}
     for group in TRACE_GROUPS:
         row = [group]
         for mode in (CleanRedundancy.PC, CleanRedundancy.NPC):
             config = SrcConfig(cache_space=CACHE_SPACE,
                                clean_redundancy=mode)
-            cache = build_src(es.scale, config=config)
+            taps = [StatsDevice(s)
+                    for s in build_ssds(es.scale, n=config.n_ssds)]
+            cache = build_src(es.scale, config=config, ssds=taps)
             res = run_trace_group(cache, group, es)
             row.append(f"{res.throughput_mb_s:.1f} "
                        f"({res.io_amplification:.2f})")
+            if group == "write":
+                whole_run_amp[mode.name] = sum(
+                    tap.amplification(cache.stats.total_bytes)
+                    for tap in taps)
         result.add_row(*row)
     result.notes.append("paper: NPC wins everywhere, most on Write "
                         "(431 -> 508)")
+    result.notes.append(
+        "whole-run SSD-tap amplification, Write group (incl. warm-up): "
+        + ", ".join(f"{name} {amp:.2f}"
+                    for name, amp in whole_run_amp.items()))
     return result
 
 

@@ -9,7 +9,7 @@ properties (orderings, rough factors).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List
 
 
 @dataclass
@@ -40,6 +40,16 @@ class ExperimentResult:
             if row[0] == row_key:
                 return row[col]
         raise KeyError(f"{self.experiment}: no row {row_key!r}")
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (the unified stats-protocol spelling)."""
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
 
     def render(self) -> str:
         """Monospace table, paper-style."""

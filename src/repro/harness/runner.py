@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Optional
 
 from repro.baselines.common import CacheTarget
 from repro.block.device import BlockDevice
 from repro.common.types import Op, Request
 from repro.common.units import KIB, mb_per_sec
 from repro.harness.context import ExperimentScale
+from repro.obs.recorder import get_recorder
 from repro.sim.engine import run_streams
 from repro.workloads import fio
 from repro.workloads.replay import ReplayResult, replay_group
@@ -61,7 +62,8 @@ def run_fio_random_write(device: BlockDevice, es: ExperimentScale,
     def issue(req: Request, now: float) -> float:
         return device.submit(req, now)
 
-    run = run_streams(issue, streams, duration=es.warmup + es.duration)
+    run = run_streams(issue, streams, duration=es.warmup + es.duration,
+                      sampler=_sampler_for(device))
     return mb_per_sec(run.stats.write_bytes, run.elapsed)
 
 
@@ -77,5 +79,15 @@ def run_fio_sequential_write(device: BlockDevice, es: ExperimentScale,
     def issue(req: Request, now: float) -> float:
         return device.submit(req, now)
 
-    run = run_streams(issue, [stream], duration=es.duration + es.warmup)
+    run = run_streams(issue, [stream], duration=es.duration + es.warmup,
+                      sampler=_sampler_for(device))
     return mb_per_sec(run.stats.write_bytes, run.elapsed)
+
+
+def _sampler_for(device: BlockDevice):
+    """The ambient recorder's sampler, bound to ``device`` (or None)."""
+    recorder = get_recorder()
+    if not recorder.enabled or recorder.sampler is None:
+        return None
+    recorder.sampler.bind_target(device)
+    return recorder.sampler

@@ -14,6 +14,7 @@ from repro.block.device import BlockDevice
 from repro.common.errors import ConfigError
 from repro.common.types import Op, Request
 from repro.hdd.disk import DiskDevice, DiskSpec
+from repro.obs.events import FlushBarrier
 from repro.sim.timeline import Link
 from repro.common.units import KIB, USEC
 
@@ -82,6 +83,8 @@ class PrimaryStorage(BlockDevice):
 
     def _service(self, req: Request, now: float) -> float:
         if req.op is Op.FLUSH:
+            if self.obs.enabled:
+                self.obs.emit(FlushBarrier(t=now, device=self.name))
             _, link_end = self.link.transfer(now, 64)  # command frame
             return self.array.submit(req, link_end)
         if req.op is Op.WRITE:

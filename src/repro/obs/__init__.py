@@ -1,0 +1,74 @@
+"""repro.obs — the cross-cutting observability layer.
+
+Four pieces, composable and individually usable:
+
+* :mod:`repro.obs.metrics` — ``MetricRegistry`` of counters, gauges and
+  log-scale latency ``Histogram``s (p50/p95/p99/max);
+* :mod:`repro.obs.events` — typed, deterministic ``EventTrace``
+  (GC, erases, flush barriers, segment seals, destages, degraded
+  reads, rebuild progress);
+* :mod:`repro.obs.sampler` — periodic time-series snapshots captured
+  inside :func:`repro.sim.engine.run_streams`;
+* :mod:`repro.obs.export` — JSON/CSV serialization.
+
+Instrumentation is zero-cost when disabled: every device defaults to
+:data:`NULL_RECORDER` and hot paths guard on ``obs.enabled``.  Turn it
+on by making an :class:`ObsRecorder` ambient while building a stack::
+
+    import repro.obs as obs
+
+    rec = obs.ObsRecorder(sample_interval=0.25)
+    with obs.use(rec):
+        cache = build_src(scale)          # builders attach the recorder
+    ... run workload ...
+    print(obs.to_json(rec.telemetry()))
+    print(obs.to_json(obs.collect(cache)))   # unified stats document
+
+or attach explicitly with :func:`attach` to a stack you built yourself.
+See ``docs/observability.md`` for the event catalogue and exporter
+examples.
+"""
+
+from repro.obs.collect import collect
+from repro.obs.events import (EVENT_TYPES, DegradedRead, Destage, Erase,
+                              Event, EventTrace, FlushBarrier, GcEnd,
+                              GcStart, RebuildProgress, SegmentSealed,
+                              event_fields)
+from repro.obs.export import (events_to_csv, samples_to_csv, to_json,
+                              write_json)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricRegistry
+from repro.obs.recorder import (NULL_RECORDER, NullRecorder, ObsRecorder,
+                                attach, get_recorder, iter_devices, use)
+from repro.obs.sampler import Sampler
+
+__all__ = [
+    "EVENT_TYPES",
+    "Counter",
+    "DegradedRead",
+    "Destage",
+    "Erase",
+    "Event",
+    "EventTrace",
+    "FlushBarrier",
+    "Gauge",
+    "GcEnd",
+    "GcStart",
+    "Histogram",
+    "MetricRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "ObsRecorder",
+    "RebuildProgress",
+    "Sampler",
+    "SegmentSealed",
+    "attach",
+    "collect",
+    "event_fields",
+    "events_to_csv",
+    "get_recorder",
+    "iter_devices",
+    "samples_to_csv",
+    "to_json",
+    "use",
+    "write_json",
+]

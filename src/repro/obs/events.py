@@ -1,0 +1,155 @@
+"""Typed trace events and the bounded event trace.
+
+Every internal resource transition worth explaining a paper number with
+is a small frozen dataclass: GC activity and erases inside the SSDs'
+FTLs, segment seals / destages / degraded reads inside SRC, flush
+barriers at every layer, rebuild progress in the RAID layers.  Events
+carry a simulated timestamp ``t`` (issue time for start-of-operation
+events, completion time for end-of-operation ones) and the emitting
+device's name, so a merged trace across a whole stack stays
+attributable.
+
+Determinism: events are emitted from the simulation's deterministic
+paths only, so the same seed and workload produce a byte-identical
+event sequence — asserted by ``tests/test_obs.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, Iterator, List, Type
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event: simulated time plus the emitting device."""
+
+    t: float
+    device: str
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+    def as_dict(self) -> dict:
+        data = {"type": self.kind}
+        data.update(asdict(self))
+        return data
+
+
+@dataclass(frozen=True)
+class GcStart(Event):
+    """Garbage collection of one victim unit begins.
+
+    For an SSD FTL the victim is a superblock; for SRC it is a segment
+    group.  ``valid_pages`` is the live data that must be relocated (or
+    destaged) before the unit can be reclaimed.
+    """
+
+    victim: int
+    valid_pages: int
+
+
+@dataclass(frozen=True)
+class GcEnd(Event):
+    """Garbage collection of one victim unit finished."""
+
+    victim: int
+    moved_pages: int
+
+
+@dataclass(frozen=True)
+class Erase(Event):
+    """A flash superblock (erase group) was erased."""
+
+    superblock: int
+    erase_count: int     # lifetime erases of that superblock, after this one
+
+
+@dataclass(frozen=True)
+class FlushBarrier(Event):
+    """A durability barrier (FLUSH) was serviced by a device."""
+
+
+@dataclass(frozen=True)
+class SegmentSealed(Event):
+    """SRC wrote (sealed) one segment to the SSD array."""
+
+    sg: int
+    segment: int
+    dirty: bool
+    with_parity: bool
+    blocks: int
+    partial: bool
+
+
+@dataclass(frozen=True)
+class Destage(Event):
+    """Dirty blocks were written back to primary storage."""
+
+    blocks: int
+
+
+@dataclass(frozen=True)
+class DegradedRead(Event):
+    """A read was served around a failed device."""
+
+    lba: int
+
+
+@dataclass(frozen=True)
+class RebuildProgress(Event):
+    """Online rebuild advanced: ``done`` of ``total`` units restored."""
+
+    done: int
+    total: int
+
+
+EVENT_TYPES: List[Type[Event]] = [
+    GcStart, GcEnd, Erase, FlushBarrier, SegmentSealed, Destage,
+    DegradedRead, RebuildProgress,
+]
+
+
+def event_fields(event_type: Type[Event]) -> List[str]:
+    """Field names of one event type (for the CSV exporter / docs)."""
+    return [f.name for f in fields(event_type)]
+
+
+class EventTrace:
+    """Append-only, bounded, totally-ordered event log.
+
+    The bound keeps long runs from hoarding memory: past ``max_events``
+    new events are counted (per type) but not stored, so aggregate
+    counts stay exact even when the stored prefix is truncated.
+    """
+
+    def __init__(self, max_events: int = 200_000):
+        self.max_events = max_events
+        self.events: List[Event] = []
+        self.dropped = 0
+        self._counts: Dict[str, int] = {}
+
+    def append(self, event: Event) -> None:
+        kind = type(event).__name__
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        if len(self.events) < self.max_events:
+            self.events.append(event)
+        else:
+            self.dropped += 1
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def counts(self) -> Dict[str, int]:
+        """Exact per-type event counts (overflow-safe)."""
+        return dict(sorted(self._counts.items()))
+
+    def of_type(self, event_type: Type[Event]) -> List[Event]:
+        return [e for e in self.events if isinstance(e, event_type)]
+
+    def as_dicts(self) -> List[dict]:
+        return [e.as_dict() for e in self.events]

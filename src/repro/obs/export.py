@@ -1,0 +1,72 @@
+"""JSON and CSV exporters for telemetry.
+
+Everything in :mod:`repro.obs` renders to plain dicts/lists of JSON
+scalars, so export is serialization only.  ``to_json`` is the single
+JSON entry point (enums and other strays degrade to ``str`` rather
+than raising); the CSV helpers flatten sample rows and event logs into
+spreadsheet-friendly tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import IO, Iterable, List
+
+
+def _default(value):
+    if hasattr(value, "as_dict"):
+        return value.as_dict()
+    if hasattr(value, "value"):   # enums
+        return value.value
+    return str(value)
+
+
+def to_json(data, indent: int = 2) -> str:
+    """Serialize any obs structure (or nested stats dict) to JSON."""
+    return json.dumps(data, indent=indent, default=_default,
+                      sort_keys=False)
+
+
+def write_json(data, sink: IO[str], indent: int = 2) -> None:
+    sink.write(to_json(data, indent=indent))
+    sink.write("\n")
+
+
+def samples_to_csv(rows: Iterable[dict], sink: IO[str],
+                   columns: List[str] = None) -> int:
+    """Write sampler rows as CSV; returns the number of rows written."""
+    rows = list(rows)
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    writer = csv.DictWriter(sink, fieldnames=columns, restval="")
+    writer.writeheader()
+    count = 0
+    for row in rows:
+        writer.writerow(row)
+        count += 1
+    return count
+
+
+def events_to_csv(events: Iterable, sink: IO[str]) -> int:
+    """Write an event log as CSV (type, t, device, detail columns).
+
+    Heterogeneous event types are unioned into one column set; cells an
+    event type lacks stay empty.
+    """
+    dicts = [e.as_dict() if hasattr(e, "as_dict") else dict(e)
+             for e in events]
+    columns = ["type", "t", "device"]
+    for data in dicts:
+        for key in data:
+            if key not in columns:
+                columns.append(key)
+    writer = csv.DictWriter(sink, fieldnames=columns, restval="")
+    writer.writeheader()
+    for data in dicts:
+        writer.writerow(data)
+    return len(dicts)

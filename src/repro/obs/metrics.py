@@ -1,0 +1,186 @@
+"""Metric primitives: counters, gauges and log-scale histograms.
+
+A :class:`MetricRegistry` is a flat namespace of named instruments.
+Names are dotted paths (``dev.ssd0.latency_s``, ``src.gc.collections``)
+so exporters can group them without a schema.  Instruments are cheap to
+update — a histogram record is one ``log2`` plus a dict increment — and
+everything renders to plain dicts for the JSON/CSV exporters.
+
+Histograms use logarithmic bins (:data:`Histogram.SUB_BINS` sub-bins
+per octave above a 100 ns floor), the classic trick for latency
+distributions: relative error is bounded (~9% at 8 sub-bins) while
+memory stays a few hundred integers regardless of sample count, and —
+unlike reservoir sampling — quantiles are deterministic functions of
+the recorded values.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, Optional, Union
+
+
+class Counter:
+    """Monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-value-wins instantaneous measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def as_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Log-scale histogram with deterministic quantile estimates.
+
+    Values at or below :data:`FLOOR` land in the underflow bin and
+    report as ``FLOOR``; the exact ``max`` is tracked separately so the
+    tail is never under-reported.
+    """
+
+    FLOOR = 1e-7          # 100 ns resolution floor
+    SUB_BINS = 8          # sub-bins per octave (~9% relative error)
+
+    __slots__ = ("name", "count", "total", "max", "min", "_bins")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self.min = float("inf")
+        self._bins: Dict[int, int] = {}
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        if value < self.min:
+            self.min = value
+        if value <= self.FLOOR:
+            index = -1
+        else:
+            index = int(math.log2(value / self.FLOOR) * self.SUB_BINS)
+        self._bins[index] = self._bins.get(index, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (q in [0, 1]) from the log bins."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0,1], got {q}")
+        if not self.count:
+            return 0.0
+        if q >= 1.0:
+            return self.max
+        target = q * self.count
+        seen = 0
+        for index in sorted(self._bins):
+            seen += self._bins[index]
+            if seen >= target:
+                if index < 0:
+                    return self.FLOOR
+                # Geometric midpoint of the bin, clamped to observed range.
+                mid = self.FLOOR * 2 ** ((index + 0.5) / self.SUB_BINS)
+                return min(max(mid, self.min), self.max)
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricRegistry:
+    """Named instruments, created on first use.
+
+    ``registry.counter("src.gc.collections").inc()`` is the whole API:
+    the first call creates the instrument, later calls return the same
+    object.  Asking for an existing name with a different kind raises.
+    """
+
+    def __init__(self):
+        self._instruments: Dict[str, Instrument] = {}
+
+    def _get(self, name: str, kind: type) -> Instrument:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} is {type(instrument).__name__}, "
+                f"not {kind.__name__}")
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def get(self, name: str) -> Optional[Instrument]:
+        return self._instruments.get(name)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterator[Instrument]:
+        return iter(self._instruments.values())
+
+    def names(self) -> list:
+        return sorted(self._instruments)
+
+    def as_dict(self) -> dict:
+        """Every instrument, rendered, keyed by name (sorted)."""
+        return {name: self._instruments[name].as_dict()
+                for name in sorted(self._instruments)}

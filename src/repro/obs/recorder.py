@@ -1,0 +1,161 @@
+"""Recorders: where instrumented code sends its telemetry.
+
+Every instrumented object (block devices, FTLs, writeback schedulers)
+holds an ``obs`` attribute.  By default that is :data:`NULL_RECORDER`,
+whose class-level ``enabled = False`` lets hot paths skip all telemetry
+work with a single attribute test::
+
+    if self.obs.enabled:
+        self.obs.emit(Erase(t=now, device=self.name, ...))
+
+so an un-observed run constructs no event objects and touches no
+registry — the zero-cost-when-disabled contract the tier-1 benchmarks
+rely on.
+
+An :class:`ObsRecorder` bundles a :class:`~repro.obs.metrics.MetricRegistry`,
+an :class:`~repro.obs.events.EventTrace` and (optionally) a
+:class:`~repro.obs.sampler.Sampler`.  Recorders are installed either
+explicitly (``repro.obs.attach(stack, recorder)``) or ambiently for a
+scope (``with repro.obs.use(recorder): ...``), which the experiment
+builders in :mod:`repro.harness.context` honour when constructing
+stacks.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+from repro.obs.events import Event, EventTrace
+from repro.obs.metrics import Histogram, MetricRegistry
+from repro.obs.sampler import Sampler
+
+
+class NullRecorder:
+    """No-op recorder; the default for every instrumented object."""
+
+    enabled = False
+
+    def emit(self, event: Event) -> None:
+        pass
+
+    def observe_io(self, device, req, issued: float, done: float) -> None:
+        pass
+
+
+NULL_RECORDER = NullRecorder()
+
+
+class ObsRecorder:
+    """Collects metrics, events and (optionally) periodic samples."""
+
+    enabled = True
+
+    def __init__(self, sample_interval: float = 0.0,
+                 max_events: int = 200_000):
+        self.registry = MetricRegistry()
+        self.trace = EventTrace(max_events=max_events)
+        self.sampler: Optional[Sampler] = (
+            Sampler(sample_interval) if sample_interval > 0 else None)
+        self._latency: dict = {}
+
+    def emit(self, event: Event) -> None:
+        self.trace.append(event)
+
+    def observe_io(self, device, req, issued: float, done: float) -> None:
+        """Per-request completion hook from ``BlockDevice.submit``."""
+        hist = self._latency.get(device.name)
+        if hist is None:
+            hist = self.registry.histogram(f"dev.{device.name}.latency_s")
+            self._latency[device.name] = hist
+        hist.record(done - issued)
+
+    def device_latency(self, name: str) -> Optional[Histogram]:
+        return self._latency.get(name)
+
+    def telemetry(self, include_events: bool = False) -> dict:
+        """One nested dict with everything this recorder captured."""
+        data = {
+            "metrics": self.registry.as_dict(),
+            "events": {
+                "counts": self.trace.counts(),
+                "recorded": len(self.trace),
+                "dropped": self.trace.dropped,
+            },
+        }
+        if include_events:
+            data["events"]["log"] = self.trace.as_dicts()
+        if self.sampler is not None:
+            data["samples"] = self.sampler.rows
+        return data
+
+
+# ----------------------------------------------------------------------
+# ambient recorder (scope-local installation)
+# ----------------------------------------------------------------------
+_ACTIVE = NULL_RECORDER
+
+
+def get_recorder():
+    """The ambient recorder new stacks are attached to (may be null)."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def use(recorder) -> Iterator:
+    """Make ``recorder`` ambient for the scope of the ``with`` block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = recorder
+    try:
+        yield recorder
+    finally:
+        _ACTIVE = previous
+
+
+# Attribute names that link a device to its children; walking them
+# covers every stack shape in the repository (caches, RAID, backends).
+_CHILD_ATTRS = ("lower", "cache_dev", "origin", "array",
+                "ssds", "members", "disks")
+
+
+def iter_devices(root) -> Iterator:
+    """Depth-first walk of a device tree (deduplicated, root first)."""
+    seen = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen or node is None:
+            continue
+        seen.add(id(node))
+        yield node
+        for attr in _CHILD_ATTRS:
+            child = getattr(node, attr, None)
+            if child is None:
+                continue
+            if isinstance(child, (list, tuple)):
+                stack.extend(child)
+            else:
+                stack.append(child)
+
+
+def attach(root, recorder=None):
+    """Point every device in the tree under ``root`` at ``recorder``.
+
+    With no explicit recorder the ambient one is used; attaching the
+    null recorder is free (the walk is skipped).  Returns ``root`` so
+    builders can attach in a return expression.
+    """
+    recorder = recorder if recorder is not None else _ACTIVE
+    if not recorder.enabled:
+        return root
+    for device in iter_devices(root):
+        if hasattr(device, "obs"):
+            device.obs = recorder
+        ftl = getattr(device, "ftl", None)
+        if ftl is not None and hasattr(ftl, "obs"):
+            ftl.obs = recorder
+        writeback = getattr(device, "writeback", None)
+        if writeback is not None and hasattr(writeback, "obs"):
+            writeback.obs = recorder
+    return root

@@ -1,0 +1,99 @@
+"""Periodic time-series sampling of a running simulation.
+
+The closed-loop engine (:mod:`repro.sim.engine`) calls
+:meth:`Sampler.observe` after every request completion; the sampler
+captures a snapshot row at most once per ``interval`` simulated
+seconds.  Each row carries the engine's byte/op counters (from which
+throughput over any window is a difference quotient) plus the value of
+every registered *probe* — a named zero-argument callable read at
+sample time.
+
+:meth:`Sampler.bind_target` installs the standard probes for whatever
+the target supports: cache utilization, free segment groups, dirty
+blocks/ratio, and mean flash wear — the internal state the paper's
+§4.2 free-space discussion reasons about.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+
+class Sampler:
+    """Captures snapshot rows every ``interval`` simulated seconds."""
+
+    def __init__(self, interval: float = 0.25):
+        if interval <= 0:
+            raise ValueError("sample interval must be positive")
+        self.interval = interval
+        self.probes: Dict[str, Callable[[], float]] = {}
+        self.rows: List[dict] = []
+        self._next = 0.0
+
+    def add_probe(self, name: str, fn: Callable[[], float]) -> None:
+        self.probes[name] = fn
+
+    def reset(self) -> None:
+        self.rows = []
+        self._next = 0.0
+
+    def observe(self, now: float, stats) -> None:
+        """Record a row if ``interval`` has elapsed since the last one.
+
+        ``stats`` is the engine's cumulative :class:`IoStats`; counters
+        are stored raw so consumers can difference adjacent rows for
+        windowed throughput.
+        """
+        if now < self._next:
+            return
+        self._next = now + self.interval
+        row = {
+            "t": now,
+            "read_bytes": stats.read_bytes,
+            "write_bytes": stats.write_bytes,
+            "ops": stats.total_ops,
+        }
+        for name, fn in self.probes.items():
+            try:
+                row[name] = fn()
+            except Exception:
+                row[name] = None   # a probe must never kill the run
+        self.rows.append(row)
+
+    # ------------------------------------------------------------------
+    def bind_target(self, target) -> None:
+        """Install the standard probes a device tree supports."""
+        if hasattr(target, "utilization"):
+            self.add_probe("utilization", target.utilization)
+        if hasattr(target, "free_groups"):
+            self.add_probe("free_groups",
+                           lambda t=target: t.free_groups)
+        mapping = getattr(target, "mapping", None)
+        if mapping is not None and hasattr(mapping, "dirty_count"):
+            self.add_probe("dirty_blocks",
+                           lambda m=mapping: m.dirty_count)
+        if hasattr(target, "dirty_ratio"):
+            self.add_probe("dirty_ratio",
+                           lambda t=target: t.dirty_ratio)
+        ssds = getattr(target, "ssds", None)
+        if ssds:
+            def mean_erases(devs=ssds):
+                counts = []
+                for dev in devs:
+                    ftl = getattr(dev, "ftl", None)
+                    if ftl is None:   # e.g. a StatsDevice tap
+                        ftl = getattr(getattr(dev, "lower", None),
+                                      "ftl", None)
+                    if ftl is not None:
+                        counts.append(float(ftl.erase_count.mean()))
+                return sum(counts) / len(counts) if counts else 0.0
+            self.add_probe("mean_erase_count", mean_erases)
+
+    def columns(self) -> List[str]:
+        """Union of row keys, first-seen order (for the CSV exporter)."""
+        cols: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in cols:
+                    cols.append(key)
+        return cols

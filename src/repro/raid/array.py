@@ -14,12 +14,13 @@ can be rebuilt online.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Tuple
 
 from repro.block.device import BlockDevice
 from repro.common.errors import ConfigError, RaidDegradedError
 from repro.common.types import Op, Request
 from repro.common.units import KIB
+from repro.obs.events import DegradedRead, RebuildProgress
 
 
 @dataclass(frozen=True)
@@ -180,6 +181,10 @@ class _ParityRaid(_RaidBase):
                 end = max(end, self.members[member_idx].submit(sub, now))
             else:
                 # Degraded read: reconstruct from all surviving members.
+                if self.obs.enabled:
+                    self.obs.emit(DegradedRead(
+                        t=now, device=self.name,
+                        lba=(ext.stripe * self.data_members + ext.chunk)))
                 sub = Request(Op.READ, ext.stripe * self.chunk_size,
                               self.chunk_size)
                 for i, member in enumerate(self.members):
@@ -271,6 +276,8 @@ class _ParityRaid(_RaidBase):
             raise RaidDegradedError(
                 f"member {member_index} must be repaired before rebuild")
         end = now
+        # Emit coarse progress: at most ~16 events regardless of size.
+        report_every = max(1, self.stripes // 16)
         for stripe in range(self.stripes):
             off = stripe * self.chunk_size
             for i, member in enumerate(self.members):
@@ -279,6 +286,10 @@ class _ParityRaid(_RaidBase):
                        else Request(Op.READ, off, self.chunk_size))
                 end = max(end, member.submit(sub, now))
             now = end
+            if self.obs.enabled and (stripe + 1) % report_every == 0:
+                self.obs.emit(RebuildProgress(
+                    t=end, device=self.name, done=stripe + 1,
+                    total=self.stripes))
         return end
 
 

@@ -17,7 +17,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Optional
 
-from repro.common.types import IoStats, LatencyStats, Op, Request
+from repro.common.types import IoStats, LatencyStats, Request
 from repro.common.units import mb_per_sec
 
 # A workload source yields Requests forever (or until exhausted).
@@ -78,13 +78,29 @@ class RunResult:
     def write_mb_s(self) -> float:
         return mb_per_sec(self.stats.write_bytes, self.elapsed)
 
+    def as_dict(self) -> dict:
+        return {
+            "elapsed": self.elapsed,
+            "completed_ops": self.completed_ops,
+            "throughput_mb_s": self.throughput_mb_s,
+            "io": self.stats.as_dict(),
+            "latency": self.latency.as_dict(),
+        }
+
 
 class Engine:
-    """Drives a set of job streams against an issue function."""
+    """Drives a set of job streams against an issue function.
 
-    def __init__(self, issue: IssueFn):
+    ``sampler`` (any object with ``observe(now, stats)``, normally a
+    :class:`repro.obs.sampler.Sampler`) is called after every request
+    completion with the cumulative counters, enabling periodic
+    time-series capture without touching the issue path.
+    """
+
+    def __init__(self, issue: IssueFn, sampler=None):
         self.issue = issue
         self.streams: List[JobStream] = []
+        self.sampler = sampler
 
     def add_stream(self, stream: JobStream) -> None:
         self.streams.append(stream)
@@ -124,6 +140,8 @@ class Engine:
             latencies.record(done - issue_time)
             completed += 1
             issued += 1
+            if self.sampler is not None:
+                self.sampler.observe(done, totals)
             end_time = max(end_time, min(done, duration))
             if max_requests and issued >= max_requests:
                 break
@@ -143,9 +161,10 @@ class Engine:
 def run_streams(issue: IssueFn, sources: List[RequestSource],
                 duration: float = float("inf"),
                 think_time: float = 0.0,
-                max_requests: int = 0) -> RunResult:
+                max_requests: int = 0,
+                sampler=None) -> RunResult:
     """Convenience wrapper: one JobStream per source, run them all."""
-    engine = Engine(issue)
+    engine = Engine(issue, sampler=sampler)
     for i, source in enumerate(sources):
         engine.add_stream(JobStream(source, think_time, name=f"job{i}"))
     return engine.run(duration=duration, max_requests=max_requests)

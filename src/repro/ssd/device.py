@@ -21,11 +21,12 @@ flush-cost findings of Table 3.
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import Set
 
 from repro.block.device import BlockDevice
 from repro.common.errors import DeviceFailedError
 from repro.common.types import Op, Request
+from repro.obs.events import FlushBarrier
 from repro.sim.timeline import Link, Timeline
 from repro.ssd.ftl import FtlOpResult, PageMappedFtl
 from repro.ssd.spec import SsdSpec
@@ -42,6 +43,7 @@ class SSDDevice(BlockDevice):
             physical_pages=spec.physical_pages,
             superblock_pages=spec.superblock_pages,
         )
+        self.ftl.owner = self.name
         self.link = Link(spec.interface_write_bw, spec.interface_latency)
         self.read_link = Link(spec.interface_read_bw, spec.interface_latency)
         self.nand = Timeline(1)
@@ -69,6 +71,8 @@ class SSDDevice(BlockDevice):
                 physical_pages=self.spec.physical_pages,
                 superblock_pages=self.spec.superblock_pages,
             )
+            self.ftl.owner = self.name
+            self.ftl.obs = self.obs   # keep any attached recorder
             self._corrupted_pages.clear()
 
     def inject_corruption(self, offset: int, length: int) -> None:
@@ -123,6 +127,8 @@ class SSDDevice(BlockDevice):
 
     def _write(self, req: Request, now: float) -> float:
         npages = self._npages(req)
+        if self.obs.enabled:
+            self.ftl.clock = now
         result = self.ftl.write(self._page_of(req.offset), npages)
         # Overwrites scrub any injected corruption for the range.
         if self._corrupted_pages:
@@ -171,6 +177,8 @@ class SSDDevice(BlockDevice):
     def _flush(self, now: float) -> float:
         drain = max(now, self.nand.drain_time())
         _, end = self.nand.acquire(drain, self.spec.flush_latency)
+        if self.obs.enabled:
+            self.obs.emit(FlushBarrier(t=now, device=self.name))
         return end
 
 

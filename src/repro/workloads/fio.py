@@ -7,12 +7,12 @@ one request stream per (thread x queue slot), each closed-loop.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, List
 
 import numpy as np
 
 from repro.common.errors import ConfigError
-from repro.common.types import Op, Request, flush, read, write
+from repro.common.types import Op, Request, flush
 from repro.common.units import KIB, PAGE_SIZE
 
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from repro.baselines.common import CacheTarget
 from repro.common.types import IoStats, LatencyStats, Request
 from repro.common.units import mb_per_sec
+from repro.obs.recorder import get_recorder
 from repro.sim.engine import run_streams
 from repro.workloads.msr import build_group
 
@@ -50,6 +51,23 @@ class ReplayResult:
     @property
     def write_mb_s(self) -> float:
         return mb_per_sec(self.write_bytes, self.elapsed)
+
+    def as_dict(self) -> dict:
+        return {
+            "group": self.group,
+            "elapsed": self.elapsed,
+            "app_bytes": self.app_bytes,
+            "read_bytes": self.read_bytes,
+            "write_bytes": self.write_bytes,
+            "completed_ops": self.completed_ops,
+            "throughput_mb_s": self.throughput_mb_s,
+            "io_amplification": self.io_amplification,
+            "hit_ratio": self.hit_ratio,
+            "ssd_bytes": self.ssd_bytes,
+            "origin_bytes": self.origin_bytes,
+            "latency": (self.latency.as_dict()
+                        if self.latency is not None else None),
+        }
 
 
 def replay_group(target: CacheTarget, group: str, scale: float = 1.0,
@@ -95,8 +113,12 @@ def replay_group(target: CacheTarget, group: str, scale: float = 1.0,
             window["latency"].record(done - now)
         return done
 
+    recorder = get_recorder()
+    sampler = recorder.sampler if recorder.enabled else None
+    if sampler is not None:
+        sampler.bind_target(target)
     run = run_streams(issue, streams, duration=warmup + duration,
-                      max_requests=max_requests)
+                      max_requests=max_requests, sampler=sampler)
     if window["cstats"] is None:   # run too short to leave warm-up
         window["cstats"] = target.cstats.copy()
     measured = min(duration, max(run.elapsed - warmup, 1e-9))

@@ -16,7 +16,6 @@ exported to the same format for inspection or use with other tools.
 from __future__ import annotations
 
 import csv
-import io
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, TextIO
 

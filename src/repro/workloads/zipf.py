@@ -10,7 +10,6 @@ different regions of the volume.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -9,8 +9,8 @@ from repro.core.config import SrcConfig
 from repro.core.src import SrcCache
 from repro.hdd.backend import PrimaryStorage
 from repro.hdd.disk import DiskSpec
-from repro.ssd.device import SSDDevice, precondition
-from repro.ssd.spec import SATA_MLC_128, SsdSpec
+from repro.ssd.device import SSDDevice
+from repro.ssd.spec import SsdSpec
 
 # A deliberately tiny SSD: 64 MiB, 2 MiB superblocks -> 34 superblocks.
 TINY_SSD = SsdSpec(

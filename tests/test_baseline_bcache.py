@@ -5,7 +5,6 @@ import pytest
 from repro.baselines.bcache import BcacheDevice
 from repro.baselines.common import WritePolicy
 from repro.block.device import NullDevice
-from repro.common.types import Op, Request
 from repro.common.units import KIB, MIB, PAGE_SIZE
 
 

@@ -5,7 +5,6 @@ import pytest
 from repro.block.device import (LinearDevice, NullDevice, StatsDevice,
                                 total_bytes)
 from repro.common.errors import AddressError
-from repro.common.types import Op, Request
 
 
 def test_out_of_range_request_rejected():

@@ -1,12 +1,11 @@
 """Command-line interface."""
 
-import io
-import os
-import tempfile
+import json
 
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main
+from repro.cli import EXPERIMENTS, _scale_from, build_parser, main
+from repro.harness.context import DEFAULT_SCALE, QUICK_SCALE
 
 
 def test_experiments_listing(capsys):
@@ -30,6 +29,81 @@ def test_run_table6_quick(capsys):
     assert main(["run", "table6", "--quick"]) == 0
     out = capsys.readouterr().out
     assert "prxy0" in out
+
+
+def test_run_multiple_experiments(capsys):
+    assert main(["run", "table6", "tables4-12", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "prxy0" in out and "SSD-A" in out
+
+
+def test_run_json_format(capsys):
+    assert main(["run", "table6", "--quick", "--format", "json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["id"] == "table6"
+    result = data["results"][0]
+    assert result["experiment"] == "Table 6"
+    assert result["columns"] and result["rows"]
+    assert set(data["telemetry"]) >= {"metrics", "events"}
+
+
+def test_run_json_multiple_is_list(capsys):
+    assert main(["run", "table6", "tables4-12", "--quick",
+                 "--format", "json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert isinstance(data, list) and len(data) == 2
+    assert [d["id"] for d in data] == ["table6", "tables4-12"]
+    assert len(data[1]["results"]) == 2   # table 4 and table 12
+
+
+def test_scale_flags_override_preset():
+    parser = build_parser()
+    args = parser.parse_args(["run", "table6", "--quick",
+                              "--scale", "1/128", "--seed", "9",
+                              "--warmup", "3.5", "--duration", "1.5"])
+    es = _scale_from(args)
+    assert es.scale == pytest.approx(1 / 128)
+    assert es.seed == 9
+    assert es.warmup == 3.5
+    assert es.duration == 1.5
+    # unspecified fields come from the --quick base
+    assert es.fio_iodepth == QUICK_SCALE.fio_iodepth
+
+
+def test_scale_flags_default_base():
+    args = build_parser().parse_args(["run", "table6"])
+    assert _scale_from(args) == DEFAULT_SCALE
+
+
+def test_scale_accepts_plain_float():
+    args = build_parser().parse_args(["run", "table6",
+                                      "--scale", "0.015625"])
+    assert _scale_from(args).scale == pytest.approx(1 / 64)
+
+
+def test_scale_rejects_garbage():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "table6", "--scale", "fast"])
+
+
+def test_trace_unknown_experiment(capsys):
+    assert main(["trace", "bogus"]) == 2
+
+
+def test_trace_verb(capsys):
+    # table6 builds no device stacks: cheap, and exercises the verb's
+    # empty-trace path end to end.
+    assert main(["trace", "table6", "--quick", "--limit", "5"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("# table6:")
+    assert "0 events recorded" in out
+
+
+def test_trace_csv(tmp_path, capsys):
+    out = tmp_path / "events.csv"
+    assert main(["trace", "table6", "--quick", "--csv", str(out)]) == 0
+    lines = out.read_text().splitlines()
+    assert lines[0].split(",")[:3] == ["type", "t", "device"]
 
 
 def test_export_trace_roundtrip(tmp_path, capsys):

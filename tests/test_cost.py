@@ -3,9 +3,8 @@
 import pytest
 
 from repro.common.errors import ConfigError
-from repro.common.units import GB, GIB
-from repro.cost.lifetime import (CostEffectiveness, PAPER_DAILY_WRITES,
-                                 flash_waf, lifetime_days)
+from repro.common.units import GB
+from repro.cost.lifetime import CostEffectiveness, flash_waf, lifetime_days
 from repro.cost.products import PRODUCT_ORDER, PRODUCTS, TABLE4
 
 

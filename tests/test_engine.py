@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.types import Op, Request, read, write
+from repro.common.types import read, write
 from repro.sim.engine import Engine, JobStream, run_streams
 
 

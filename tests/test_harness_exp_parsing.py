@@ -1,6 +1,5 @@
 """Cross-cutting checks on the experiment modules' table contracts."""
 
-import pytest
 
 from repro.harness import (exp_fig1, exp_fig2, exp_fig4, exp_fig5,
                            exp_fig6, exp_fig7, exp_table2, exp_table3,

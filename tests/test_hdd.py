@@ -3,7 +3,6 @@
 import pytest
 
 from repro.common.errors import ConfigError
-from repro.common.types import Op, Request
 from repro.common.units import KIB, MIB, mb_per_sec
 from repro.hdd.backend import PrimaryStorage, Raid10Array
 from repro.hdd.disk import DiskDevice, DiskSpec

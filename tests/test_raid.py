@@ -4,7 +4,6 @@ import pytest
 
 from repro.block.device import NullDevice
 from repro.common.errors import ConfigError, RaidDegradedError
-from repro.common.types import Op, Request
 from repro.common.units import KIB
 from repro.raid.array import (Raid0Device, Raid1Device, Raid4Device,
                               Raid5Device, make_raid)

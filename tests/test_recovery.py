@@ -1,6 +1,5 @@
 """Crash recovery by metadata scan (§4.1) — including torn segments."""
 
-from dataclasses import replace
 
 import numpy as np
 import pytest
@@ -8,13 +7,9 @@ from hypothesis import given, settings, strategies as st
 
 from repro.common.errors import RecoveryError
 from repro.common.units import PAGE_SIZE
-from repro.core.config import SrcConfig
 from repro.core.recovery import recover
-from repro.core.src import SrcCache
-from repro.hdd.backend import PrimaryStorage
 
-from _stacks import TINY_DISK, TINY_SRC, TINY_SSD, make_src
-from repro.ssd.device import SSDDevice
+from _stacks import make_src
 
 
 def crash_and_recover(cache):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.workloads.replay import ReplayResult, replay_group
+from repro.workloads.replay import replay_group
 
 from _stacks import make_src
 

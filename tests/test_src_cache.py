@@ -1,11 +1,9 @@
 """SRC cache behaviour: write path, read path, segment machinery."""
 
-import pytest
 
 from repro.common.types import Op, Request
 from repro.common.units import PAGE_SIZE
-from repro.core.config import (CleanRedundancy, FlushPoint, GcScheme,
-                               SrcConfig, VictimPolicy)
+from repro.core.config import CleanRedundancy, FlushPoint
 
 from _stacks import TINY_SRC, make_src
 

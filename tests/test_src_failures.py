@@ -5,7 +5,7 @@ from dataclasses import replace
 import pytest
 
 from repro.common.units import PAGE_SIZE
-from repro.core.config import CleanRedundancy, SrcConfig
+from repro.core.config import CleanRedundancy
 
 from _stacks import TINY_SRC, make_src
 

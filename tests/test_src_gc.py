@@ -2,10 +2,9 @@
 
 from dataclasses import replace
 
-import pytest
 
 from repro.common.units import PAGE_SIZE
-from repro.core.config import GcScheme, SrcConfig, VictimPolicy
+from repro.core.config import GcScheme, VictimPolicy
 
 from _stacks import TINY_SRC, make_src
 

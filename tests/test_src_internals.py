@@ -1,11 +1,9 @@
 """White-box tests of SRC internals: unit writes, bulk reads, parity."""
 
-import pytest
 
-from repro.common.types import Op
 from repro.common.units import PAGE_SIZE
 
-from _stacks import TINY_SRC, make_src
+from _stacks import make_src
 
 
 def test_issue_unit_writes_full_segment_lengths():

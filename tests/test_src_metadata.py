@@ -1,6 +1,5 @@
 """Durable segment metadata and the superblock."""
 
-import pytest
 
 from repro.core.metadata import (MetadataStore, SegmentSummary, Superblock,
                                  SRC_MAGIC)

@@ -1,7 +1,6 @@
 """Request-level SRC behaviour and model-based property tests."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.common.types import Op, Request

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.errors import ConfigError
-from repro.common.units import GIB, KIB, MIB
+from repro.common.units import GIB, MIB
 from repro.ssd.spec import (NVME_MLC_400, SATA_MLC_128, SATA_TLC_128,
                             SsdSpec)
 

@@ -1,7 +1,6 @@
 """Static wear leveling in the FTL (optional feature)."""
 
 import numpy as np
-import pytest
 
 from repro.ssd.ftl import PageMappedFtl
 

@@ -1,6 +1,5 @@
 """Background writeback scheduler (LBA-sorted, run-coalesced)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.baselines.common import WritebackScheduler
