@@ -8,6 +8,10 @@ trace <exp-id>           run one experiment and dump its event trace
 report [out.md]          run everything, write the experiments report
 replay <group>           replay a trace group against a chosen target
 export-trace <name> ...  materialise a synthetic trace as MSR CSV
+faults                   seeded crash-point torture harness
+
+Any :class:`~repro.common.errors.ReproError` escaping a command is
+reported as a one-line message and exit status 2.
 
 Every run-like command accepts the scale flags ``--scale`` (a float or
 a fraction such as ``1/32``), ``--seed``, ``--warmup`` and
@@ -22,6 +26,7 @@ import importlib
 import sys
 from dataclasses import replace
 
+from repro.common.errors import ReproError
 from repro.harness.context import DEFAULT_SCALE, QUICK_SCALE, ExperimentScale
 
 EXPERIMENTS = {
@@ -235,6 +240,30 @@ def cmd_replay(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    from repro.harness import exp_faults
+    es = _scale_from(args)
+    if args.format == "json":
+        from repro.obs import ObsRecorder, to_json, use
+        recorder = ObsRecorder(sample_interval=SAMPLE_INTERVAL)
+        with use(recorder):
+            result = exp_faults.run(
+                es, seeds=args.seeds, points=args.points,
+                demonstrate_break=args.demonstrate_break)
+        print(to_json({
+            "id": "faults",
+            "results": [result.as_dict()],
+            "telemetry": recorder.telemetry(),
+        }))
+    else:
+        result = exp_faults.run(
+            es, seeds=args.seeds, points=args.points,
+            demonstrate_break=args.demonstrate_break)
+        print(result.render())
+    violations = result.cell("TOTAL", "Violations")
+    return 1 if violations else 0
+
+
 def cmd_export_trace(args) -> int:
     from repro.workloads.trace_io import export_synthetic
     with open(args.output, "w", encoding="utf-8") as sink:
@@ -281,6 +310,20 @@ def build_parser() -> argparse.ArgumentParser:
                         default="table")
     _add_scale_flags(replay)
 
+    faults = sub.add_parser(
+        "faults", help="seeded crash-point torture harness")
+    faults.add_argument("--seeds", type=int, default=5,
+                        help="number of workload seeds (base: --seed)")
+    faults.add_argument("--points", type=int, default=50,
+                        help="crash points per seed")
+    faults.add_argument("--demonstrate-break", action="store_true",
+                        help="also verify the harness catches a "
+                             "deliberately broken ME seal")
+    faults.add_argument("--format", choices=("table", "json"),
+                        default="table",
+                        help="table (default) or json with telemetry")
+    _add_scale_flags(faults)
+
     export = sub.add_parser("export-trace",
                             help="export a synthetic trace as MSR CSV")
     export.add_argument("trace")
@@ -301,8 +344,13 @@ def main(argv=None) -> int:
         "report": cmd_report,
         "replay": cmd_replay,
         "export-trace": cmd_export_trace,
+        "faults": cmd_faults,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

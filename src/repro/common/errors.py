@@ -17,6 +17,36 @@ class DeviceFailedError(ReproError):
     """An I/O was issued to a device that has failed (fail-stop)."""
 
 
+class TransientIOError(ReproError):
+    """A request failed non-fatally; an immediate retry may succeed.
+
+    Models the recoverable media/link errors (command timeouts, ECC
+    retries, link resets) that commodity SSDs return long before they
+    fail-stop.  Raised by :class:`repro.faults.FaultInjector`; consumed
+    by the bounded-retry policies in SRC and the RAID layer.
+    """
+
+
+class RequestTimeoutError(ReproError):
+    """A request exhausted its retry/backoff timeout budget.
+
+    Raised by :func:`repro.faults.submit_with_retry` when the bounded
+    retries of a :class:`~repro.faults.RetryPolicy` never succeeded
+    within the per-request budget.  Callers treat the device as
+    fail-stop from that point on.
+    """
+
+
+class PowerCutError(ReproError):
+    """Simulated power loss: the machine halts mid-operation.
+
+    Only volatile state is lost — the durable model
+    (:class:`repro.core.metadata.MetadataStore`) keeps exactly what was
+    persisted before the cut.  Never caught by resilience policies;
+    only crash harnesses catch it and then run recovery.
+    """
+
+
 class ChecksumError(ReproError):
     """Stored data failed checksum verification (silent corruption)."""
 

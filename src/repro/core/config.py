@@ -65,6 +65,15 @@ class SrcConfig:
     hotness_aware: bool = True          # ablation: False copies all clean
                                         # data in S2S instead of hot only
 
+    # Resilience policies (§4.1 failure handling, extended by the
+    # repro.faults subsystem; see docs/fault_model.md).
+    retry_attempts: int = 4             # total tries per SSD request
+    retry_backoff: float = 200e-6       # first-retry delay, doubled after
+    retry_timeout: float = 50e-3        # per-request retry budget (s)
+    failslow_p99: float = 0.0           # rolling-p99 limit (s); 0 disables
+    failslow_window: int = 256          # samples per detection window
+    bypass_on_failure: bool = True      # origin-bypass when array is lost
+
     def __post_init__(self) -> None:
         if self.n_ssds < 1:
             raise ConfigError("need at least one SSD")
@@ -81,6 +90,15 @@ class SrcConfig:
             raise ConfigError("segment unit must be 4 KiB aligned")
         if self.gc_free_high < self.gc_free_low:
             raise ConfigError("gc_free_high must be >= gc_free_low")
+        if self.retry_attempts < 1:
+            raise ConfigError("retry_attempts must be >= 1")
+        if self.retry_backoff < 0 or self.retry_timeout <= 0:
+            raise ConfigError("retry_backoff must be >= 0 and "
+                              "retry_timeout > 0")
+        if self.failslow_p99 < 0:
+            raise ConfigError("failslow_p99 must be >= 0 (0 disables)")
+        if self.failslow_window < 2:
+            raise ConfigError("failslow_window must be >= 2")
 
     # Geometry (paper §4.1, in the M = 4, S = 128 GB context) ----------
     @property

@@ -102,8 +102,24 @@ class MetadataStore:
             summary.me_generation = summary.generation - 1
         self._summaries[(summary.sg, summary.segment)] = summary
 
+    def seal_summary(self, sg: int, segment: int) -> None:
+        """Persist the trailing ME block: MS and ME now agree.
+
+        SRC writes the summary MS-first (torn) before issuing the
+        segment's unit writes and seals it after they complete, so a
+        power cut mid-segment-write durably leaves a torn summary —
+        exactly the state crash recovery must discard.
+        """
+        summary = self._summaries.get((sg, segment))
+        if summary is not None:
+            summary.me_generation = summary.generation
+
     def read_summary(self, sg: int, segment: int) -> Optional[SegmentSummary]:
         return self._summaries.get((sg, segment))
+
+    def discard_summary(self, sg: int, segment: int) -> None:
+        """Drop one segment's summary (recovery discards torn segments)."""
+        self._summaries.pop((sg, segment), None)
 
     def drop_group(self, sg: int) -> None:
         """Reclaiming an SG invalidates its summaries (log trim)."""

@@ -106,8 +106,8 @@ def recover(ssds: List[BlockDevice], origin: BlockDevice,
             else:
                 report.clean_blocks += 1
 
-    for key in discarded:
-        metadata._summaries.pop(key, None)
+    for sg, segment in discarded:
+        metadata.discard_summary(sg, segment)
 
     # Group states: any SG with recovered segments is closed; FIFO order
     # follows first-use sequence so victim selection behaves as before.

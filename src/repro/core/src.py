@@ -26,7 +26,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.baselines.common import CacheTarget
 from repro.block.device import BlockDevice
 from repro.common.checksum import block_checksum
-from repro.common.errors import ConfigError, RaidDegradedError
+from repro.common.errors import (ConfigError, DeviceFailedError,
+                                 RaidDegradedError, RequestTimeoutError)
 from repro.common.types import Op, Request
 from repro.common.units import PAGE_SIZE
 from repro.core.buffers import SegmentBuffer, StagingBuffer
@@ -37,8 +38,11 @@ from repro.core.layout import SegmentLayout
 from repro.core.mapping import CacheEntry, MappingTable
 from repro.core.metadata import (MetadataStore, SegmentSummary, Superblock,
                                  SRC_MAGIC)
-from repro.obs.events import (DegradedRead, Destage, FlushBarrier, GcEnd,
-                              GcStart, RebuildProgress, SegmentSealed)
+from repro.faults.failslow import FailSlowDetector
+from repro.faults.policy import RetryPolicy, submit_with_retry
+from repro.obs.events import (BypassEntered, DegradedRead, Destage,
+                              DeviceLimping, FlushBarrier, GcEnd, GcStart,
+                              RebuildProgress, SegmentSealed)
 
 RAM_LATENCY = 2e-6  # buffer hit / insert latency
 
@@ -61,6 +65,13 @@ class SrcStats:
     degraded_reads: int = 0
     unrecoverable_errors: int = 0
     timeout_flushes: int = 0
+    retries: int = 0
+    retry_give_ups: int = 0
+    failstop_conversions: int = 0
+    limping_detected: int = 0
+    bypass_reads: int = 0
+    bypass_writes: int = 0
+    bypass_lost_dirty: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -128,6 +139,18 @@ class SrcCache(CacheTarget):
         self._last_dirty_write = 0.0
         self._in_gc = False
 
+        # Resilience policies (docs/fault_model.md).
+        self.bypass = False
+        self._retry_policy = RetryPolicy(
+            max_attempts=config.retry_attempts,
+            backoff=config.retry_backoff,
+            timeout=config.retry_timeout)
+        self.failslow: Optional[FailSlowDetector] = (
+            FailSlowDetector(config.failslow_p99,
+                             window=config.failslow_window,
+                             min_samples=min(64, config.failslow_window))
+            if config.failslow_p99 > 0 else None)
+
         if self.metadata.superblock is None:
             self.metadata.format(Superblock(
                 magic=SRC_MAGIC, create_time=create_time,
@@ -181,9 +204,101 @@ class SrcCache(CacheTarget):
         return not getattr(self.ssds[ssd_idx], "failed", False)
 
     # ==================================================================
+    # resilient SSD submission (retry/backoff, fail-slow, bypass)
+    # ==================================================================
+    def _ssd_submit(self, idx: int, req: Request,
+                    now: float) -> Optional[float]:
+        """Submit to one SSD under the retry policy; None if it died.
+
+        Transient errors are retried with exponential backoff inside
+        the configured timeout budget; exhaustion (or a fail-stop error
+        from the device) converts the drive to fail-stop and returns
+        None so callers skip or reconstruct around it.  Completion
+        latencies feed the fail-slow detector: a drive whose rolling
+        p99 crosses the threshold is likewise converted to fail-stop.
+        """
+
+        def count_retry(_attempt: int) -> None:
+            self.srcstats.retries += 1
+
+        ssd = self.ssds[idx]
+        try:
+            end = submit_with_retry(ssd, req, now, self._retry_policy,
+                                    obs=self.obs, on_retry=count_retry)
+        except RequestTimeoutError:
+            self.srcstats.retry_give_ups += 1
+            self._convert_fail_stop(idx, now)
+            return None
+        except DeviceFailedError:
+            self._convert_fail_stop(idx, now)
+            return None
+        if (self.failslow is not None and req.op in (Op.READ, Op.WRITE)
+                and self.failslow.observe(idx, end - now)):
+            self.srcstats.limping_detected += 1
+            if self.obs.enabled:
+                self.obs.emit(DeviceLimping(
+                    t=end, device=ssd.name,
+                    p99=self.failslow.p99(idx) or 0.0,
+                    threshold=self.config.failslow_p99))
+            self._convert_fail_stop(idx, end)
+        return end
+
+    def _convert_fail_stop(self, idx: int, now: float) -> None:
+        """Stop using a drive that keeps erroring or is limping."""
+        ssd = self.ssds[idx]
+        if not getattr(ssd, "failed", False):
+            if hasattr(ssd, "fail"):
+                ssd.fail()
+            else:
+                ssd.failed = True
+            self.srcstats.failstop_conversions += 1
+        self._maybe_bypass(now)
+
+    def _maybe_bypass(self, now: float) -> None:
+        """Enter origin-bypass when the array can no longer serve."""
+        if self.bypass or not self.config.bypass_on_failure:
+            return
+        dead = sum(1 for i in range(len(self.ssds)) if not self._alive(i))
+        tolerated = 1 if self.config.raid_level in (4, 5) else 0
+        if dead > tolerated:
+            self._enter_bypass(
+                now, f"{dead} of {len(self.ssds)} SSDs failed")
+
+    def _enter_bypass(self, now: float, reason: str) -> None:
+        """Degrade to pass-through: all I/O goes straight to the origin.
+
+        Dirty blocks that were only in the cache become unreachable;
+        they are counted explicitly (the cost of graceful degradation —
+        Table 5's loss column, not silent corruption).
+        """
+        if self.bypass:
+            return
+        self.bypass = True
+        lost = self.mapping.dirty_count + len(self.dirty_buf)
+        self.srcstats.bypass_lost_dirty += lost
+        if self.obs.enabled:
+            self.obs.emit(BypassEntered(t=now, device=self.name,
+                                        reason=reason, lost_dirty=lost))
+
+    def _service(self, req: Request, now: float) -> float:
+        """Service with graceful degradation: an array-loss error flips
+        SRC into origin-bypass and the request is re-served from the
+        origin instead of surfacing the failure to the application."""
+        try:
+            return super()._service(req, now)
+        except (DeviceFailedError, RaidDegradedError) as exc:
+            if not self.config.bypass_on_failure:
+                raise
+            self._enter_bypass(now, f"{type(exc).__name__}: {exc}")
+            return super()._service(req, now)
+
+    # ==================================================================
     # application write path
     # ==================================================================
     def write_block(self, block: int, now: float) -> float:
+        if self.bypass:
+            self.srcstats.bypass_writes += 1
+            return self.origin_write(block, now)
         self._check_timeout(now)
         if self.block_cached(block):
             self.cstats.write_hits += 1
@@ -207,6 +322,9 @@ class SrcCache(CacheTarget):
     # application read path
     # ==================================================================
     def read_block(self, block: int, now: float) -> float:
+        if self.bypass:
+            self.srcstats.bypass_reads += 1
+            return self.origin_read(block, now)
         self._check_timeout(now)
         if (block in self.dirty_buf or block in self.clean_buf
                 or block in self.staging):
@@ -221,10 +339,15 @@ class SrcCache(CacheTarget):
         return self._read_miss(block, now)
 
     def block_cached(self, block: int) -> bool:
+        if self.bypass:
+            return False
         return (block in self.dirty_buf or block in self.clean_buf
                 or block in self.staging or block in self.mapping)
 
     def install_fill(self, block: int, now: float) -> None:
+        if self.bypass:
+            self.srcstats.bypass_reads += 1
+            return
         self.cstats.read_misses += 1
         self.staging.put(block, now)
         self._fill_clean(block, now)
@@ -261,7 +384,13 @@ class SrcCache(CacheTarget):
         ssd = self.ssds[loc.ssd]
         if not self._alive(loc.ssd):
             return self._degraded_read(block, entry, now)
-        end = ssd.submit(Request(Op.READ, loc.offset, PAGE_SIZE), now)
+        end = self._ssd_submit(loc.ssd,
+                               Request(Op.READ, loc.offset, PAGE_SIZE), now)
+        if end is None:   # the home drive just died under this read
+            if self.bypass:
+                self.srcstats.bypass_reads += 1
+                return self.origin_read(block, now)
+            return self._degraded_read(block, entry, now)
         corrupted = getattr(ssd, "corrupted_in", None)
         if corrupted is not None and corrupted(loc.offset, PAGE_SIZE):
             return self._repair_corruption(block, entry, end)
@@ -287,8 +416,10 @@ class SrcCache(CacheTarget):
             if idx == skip_ssd or not self._alive(idx):
                 continue
             offset = self.layout.unit_offset(loc.sg, loc.segment) + row_offset
-            end = max(end, self.ssds[idx].submit(
-                Request(Op.READ, offset, PAGE_SIZE), now))
+            done = self._ssd_submit(idx,
+                                    Request(Op.READ, offset, PAGE_SIZE), now)
+            if done is not None:
+                end = max(end, done)
         return end
 
     def _degraded_read(self, block: int, entry: CacheEntry,
@@ -334,6 +465,8 @@ class SrcCache(CacheTarget):
 
     def _reinsert(self, block: int, entry: CacheEntry, now: float) -> None:
         """Re-log a recovered block through the segment buffers."""
+        if self.bypass:
+            return
         dirty = entry.dirty
         self.mapping.invalidate(block)
         buf = self.dirty_buf if dirty else self.clean_buf
@@ -380,14 +513,18 @@ class SrcCache(CacheTarget):
             checksums.append(checksum)
             versions.append(version)
 
-        end = self._issue_unit_writes(sg, segment, len(blocks), with_parity,
-                                      start)
+        # MS lands with the first pages of the unit writes; ME seals the
+        # segment only once they all complete.  A power cut in between
+        # durably leaves a torn summary for recovery to discard.
         self.metadata.write_summary(SegmentSummary(
             sg=sg, segment=segment, sequence=self.metadata.next_sequence(),
             generation=self._sg_sequence * self.layout.segments_per_group
             + segment + 1,
             dirty=dirty, with_parity=with_parity,
-            lbas=lbas, checksums=checksums, versions=versions))
+            lbas=lbas, checksums=checksums, versions=versions), torn=True)
+        end = self._issue_unit_writes(sg, segment, len(blocks), with_parity,
+                                      start)
+        self.metadata.seal_summary(sg, segment)
 
         self.srcstats.segment_writes += 1
         if partial:
@@ -425,8 +562,10 @@ class SrcCache(CacheTarget):
             if in_unit == per_unit:
                 length = self.layout.unit_blocks * PAGE_SIZE
             if self._alive(idx):
-                end = max(end, self.ssds[idx].submit(
-                    Request(Op.WRITE, base, length), now))
+                done = self._ssd_submit(
+                    idx, Request(Op.WRITE, base, length), now)
+                if done is not None:
+                    end = max(end, done)
         if parity_ssd >= 0 and self._alive(parity_ssd):
             # Parity covers the written rows of the stripe; units fill in
             # order, so the first unit holds the row high-watermark.
@@ -434,15 +573,19 @@ class SrcCache(CacheTarget):
             length = (1 + rows + 1) * PAGE_SIZE
             if rows == per_unit:
                 length = self.layout.unit_blocks * PAGE_SIZE
-            end = max(end, self.ssds[parity_ssd].submit(
-                Request(Op.WRITE, base, length), now))
+            done = self._ssd_submit(
+                parity_ssd, Request(Op.WRITE, base, length), now)
+            if done is not None:
+                end = max(end, done)
         return end
 
     def _flush_ssds(self, now: float) -> float:
         end = now
-        for idx, ssd in enumerate(self.ssds):
+        for idx in range(len(self.ssds)):
             if self._alive(idx):
-                end = max(end, ssd.submit(Request(Op.FLUSH), now))
+                done = self._ssd_submit(idx, Request(Op.FLUSH), now)
+                if done is not None:
+                    end = max(end, done)
         self.srcstats.flush_commands += 1
         if self.obs.enabled:
             self.obs.emit(FlushBarrier(t=now, device=self.name))
@@ -594,8 +737,10 @@ class SrcCache(CacheTarget):
                                    now)
         if self.config.separate_hot_clean:
             copy_list.sort(key=lambda item: item[1].dirty)
+        copied_dirty = False
         for lba, entry in copy_list:
             dirty = entry.dirty
+            copied_dirty = copied_dirty or dirty
             self.mapping.invalidate(lba)
             buf = self.dirty_buf if dirty else self.clean_buf
             if lba not in buf:
@@ -604,6 +749,14 @@ class SrcCache(CacheTarget):
                 if full:
                     end = max(end, self._write_segment(dirty=dirty,
                                                        now=read_end))
+        # Copied dirty blocks must be durable again BEFORE the victim's
+        # summaries are dropped: until the new segment seals, the old
+        # segment is their only persistent copy, and a power cut in
+        # that window would lose acknowledged dirty data.  Clean blocks
+        # need no such care — the origin still holds them.
+        if copied_dirty and not self.dirty_buf.empty:
+            end = max(end, self._write_segment(dirty=True,
+                                               now=max(end, read_end)))
         return max(end, read_end)
 
     def _destage(self, victim: int, lbas: List[int], now: float) -> float:
@@ -651,8 +804,10 @@ class SrcCache(CacheTarget):
                     prev = off
                     continue
                 length = prev - run_start + PAGE_SIZE
-                end = max(end, self.ssds[ssd_idx].submit(
-                    Request(Op.READ, run_start, length), now))
+                done = self._ssd_submit(
+                    ssd_idx, Request(Op.READ, run_start, length), now)
+                if done is not None:
+                    end = max(end, done)
                 if off is not None:
                     run_start = prev = off
         return end
@@ -661,10 +816,12 @@ class SrcCache(CacheTarget):
         """TRIM the reclaimed SG so the FTLs know the space is dead."""
         base = self.layout.unit_offset(victim, 0)
         end = now
-        for idx, ssd in enumerate(self.ssds):
+        for idx in range(len(self.ssds)):
             if self._alive(idx):
-                end = max(end, ssd.submit(Request(
-                    Op.TRIM, base, self.config.erase_group_size), now))
+                done = self._ssd_submit(idx, Request(
+                    Op.TRIM, base, self.config.erase_group_size), now)
+                if done is not None:
+                    end = max(end, done)
         return end
 
     # ==================================================================
@@ -672,6 +829,8 @@ class SrcCache(CacheTarget):
     # ==================================================================
     def _check_timeout(self, now: float) -> None:
         """TWAIT expiry: persist a partial dirty segment."""
+        if self.bypass:
+            return
         if (not self.dirty_buf.empty
                 and now - self._last_dirty_write > self.config.t_wait):
             self.srcstats.timeout_flushes += 1
@@ -680,7 +839,7 @@ class SrcCache(CacheTarget):
 
     def flush_partial(self, now: float) -> float:
         """Force out a partial dirty segment (timeout path, tests)."""
-        if self.dirty_buf.empty:
+        if self.bypass or self.dirty_buf.empty:
             return now
         self.srcstats.timeout_flushes += 1
         return self._write_segment(dirty=True, now=now)
@@ -692,12 +851,16 @@ class SrcCache(CacheTarget):
         primary storage: the segment bundles data, metadata and parity,
         which is the durability contract (§2.2, Qin et al. comparison).
         """
+        if self.bypass:
+            return self.origin.submit(Request(Op.FLUSH), now)
         end = now
         if not self.dirty_buf.empty:
             end = self._write_segment(dirty=True, now=now)
         return self._flush_ssds(end)
 
     def handle_trim(self, req: Request, now: float) -> float:
+        if self.bypass:
+            return self.origin.submit(req, now)
         for block in req.pages():
             self.mapping.invalidate(block)
             self.dirty_buf.remove(block)
@@ -742,10 +905,14 @@ class SrcCache(CacheTarget):
                 step = now
                 for other in involved:
                     if other != ssd_idx and self._alive(other):
-                        step = max(step, self.ssds[other].submit(
-                            Request(Op.READ, base, length), now))
-                end = max(end, self.ssds[ssd_idx].submit(
-                    Request(Op.WRITE, base, length), step))
+                        got = self._ssd_submit(
+                            other, Request(Op.READ, base, length), now)
+                        if got is not None:
+                            step = max(step, got)
+                wrote = self._ssd_submit(
+                    ssd_idx, Request(Op.WRITE, base, length), step)
+                if wrote is not None:
+                    end = max(end, wrote)
             else:
                 for lba, entry in self.mapping.sg_blocks(summary.sg):
                     if (entry.location.segment == summary.segment

@@ -1,0 +1,64 @@
+"""Fail-slow ("limping") drive detection from rolling latency windows.
+
+Fail-slow is the failure mode RAID tolerates worst: a drive that still
+answers, just 10-100x late, drags every stripe operation down with it.
+The detector keeps a rolling log-scale latency histogram per device;
+once a window holds enough samples, a p99 above the threshold flags
+the device, and the caller (SRC) converts it to fail-stop so parity
+reconstruction takes over — trading redundancy for tail latency, the
+same call real array firmware makes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.obs.metrics import Histogram
+
+
+class FailSlowDetector:
+    """Rolling-p99 limping detector over arbitrary device keys."""
+
+    def __init__(self, p99_threshold: float, window: int = 256,
+                 min_samples: int = 64):
+        if p99_threshold <= 0:
+            raise ValueError("p99 threshold must be positive")
+        if min_samples < 1 or window < min_samples:
+            raise ValueError("need window >= min_samples >= 1")
+        self.p99_threshold = p99_threshold
+        self.window = window
+        self.min_samples = min_samples
+        self._hists: Dict[object, Histogram] = {}
+        self._flagged: Set[object] = set()
+
+    def observe(self, key, latency: float) -> bool:
+        """Record one completion latency; True when ``key`` just flagged.
+
+        Evaluation is windowed: every ``window`` samples the rolling
+        histogram is checked and reset, so an old fast epoch cannot
+        mask a drive that starts limping later.  A flagged key is
+        latched and never re-evaluated (the caller fail-stops it).
+        """
+        if key in self._flagged:
+            return False
+        hist = self._hists.get(key)
+        if hist is None:
+            hist = self._hists[key] = Histogram(f"failslow.{key}")
+        hist.record(latency)
+        if hist.count < self.window:
+            return False
+        limping = hist.count >= self.min_samples \
+            and hist.p99 > self.p99_threshold
+        if limping:
+            self._flagged.add(key)
+            return True
+        self._hists[key] = Histogram(f"failslow.{key}")   # next window
+        return False
+
+    def p99(self, key) -> Optional[float]:
+        """Current window's p99 for ``key`` (None before any sample)."""
+        hist = self._hists.get(key)
+        return hist.p99 if hist is not None and hist.count else None
+
+    def is_flagged(self, key) -> bool:
+        return key in self._flagged

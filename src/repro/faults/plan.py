@@ -1,0 +1,115 @@
+"""Declarative, seeded fault schedules (the fault taxonomy).
+
+A :class:`FaultPlan` describes *what* should go wrong with one device
+and *when*; the :class:`~repro.faults.injector.FaultInjector` executes
+it mechanistically as requests flow through.  The taxonomy follows the
+failure classes the SSD-array literature (Amber, EagleTree) injects:
+
+* **fail-stop** — the drive dies at time T and every later request
+  raises :class:`~repro.common.errors.DeviceFailedError`;
+* **transient I/O errors** — inside a probability window, requests fail
+  with :class:`~repro.common.errors.TransientIOError` (retryable);
+* **latent sector corruption** — a byte range silently returns bad
+  data, caught only by checksums on read;
+* **fail-slow (limping)** — inside a window, completions are stretched
+  by a latency multiplier while the drive still "works";
+* **power cut** — the whole machine halts on the Nth write or at time
+  T, raising :class:`~repro.common.errors.PowerCutError`.
+
+Plans are deterministic: transient-error draws come from a private
+``random.Random(seed)``, so the same plan over the same request stream
+injects the same faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TransientWindow:
+    """Requests between ``start`` and ``end`` fail with probability p."""
+
+    start: float
+    end: float
+    probability: float
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+@dataclass(frozen=True)
+class LimpWindow:
+    """Completions between ``start`` and ``end`` are ``slowdown``x late."""
+
+    start: float
+    end: float
+    slowdown: float
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+@dataclass
+class FaultPlan:
+    """Everything scheduled to go wrong with one device."""
+
+    seed: int = 0
+    fail_at: Optional[float] = None          # fail-stop at time T
+    power_cut_at: Optional[float] = None     # machine halt at time T
+    power_cut_after_writes: Optional[int] = None   # halt on the Nth write
+    transient: List[TransientWindow] = field(default_factory=list)
+    limps: List[LimpWindow] = field(default_factory=list)
+    corruption: List[Tuple[int, int]] = field(default_factory=list)
+
+    # Chainable builders -------------------------------------------------
+    def fail_stop(self, at: float) -> "FaultPlan":
+        self.fail_at = at
+        return self
+
+    def power_cut(self, at: float) -> "FaultPlan":
+        self.power_cut_at = at
+        return self
+
+    def power_cut_on_write(self, nth: int) -> "FaultPlan":
+        if nth < 1:
+            raise ValueError("power cut must target the 1st write or later")
+        self.power_cut_after_writes = nth
+        return self
+
+    def transient_window(self, start: float, end: float,
+                         probability: float) -> "FaultPlan":
+        if not 0.0 < probability <= 1.0:
+            raise ValueError(
+                f"transient probability must be in (0,1], got {probability}")
+        self.transient.append(TransientWindow(start, end, probability))
+        return self
+
+    def limp_window(self, start: float, end: float,
+                    slowdown: float) -> "FaultPlan":
+        if slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1, got {slowdown}")
+        self.limps.append(LimpWindow(start, end, slowdown))
+        return self
+
+    def corrupt(self, offset: int, length: int) -> "FaultPlan":
+        self.corruption.append((offset, length))
+        return self
+
+    # Queries ------------------------------------------------------------
+    def transient_probability(self, now: float) -> float:
+        """Combined failure probability of the windows active at ``now``."""
+        p_ok = 1.0
+        for window in self.transient:
+            if window.active(now):
+                p_ok *= 1.0 - window.probability
+        return 1.0 - p_ok
+
+    def slowdown(self, now: float) -> float:
+        """Latency multiplier at ``now`` (1.0 when not limping)."""
+        factor = 1.0
+        for window in self.limps:
+            if window.active(now):
+                factor = max(factor, window.slowdown)
+        return factor

@@ -30,10 +30,11 @@ examples.
 """
 
 from repro.obs.collect import collect
-from repro.obs.events import (EVENT_TYPES, DegradedRead, Destage, Erase,
-                              Event, EventTrace, FlushBarrier, GcEnd,
-                              GcStart, RebuildProgress, SegmentSealed,
-                              event_fields)
+from repro.obs.events import (EVENT_TYPES, BypassEntered, DegradedRead,
+                              Destage, DeviceLimping, Erase, Event,
+                              EventTrace, FaultInjected, FlushBarrier,
+                              GcEnd, GcStart, RebuildProgress, RetryAttempt,
+                              SegmentSealed, TimeoutExpired, event_fields)
 from repro.obs.export import (events_to_csv, samples_to_csv, to_json,
                               write_json)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricRegistry
@@ -43,10 +44,13 @@ from repro.obs.sampler import Sampler
 
 __all__ = [
     "EVENT_TYPES",
+    "BypassEntered",
     "Counter",
     "DegradedRead",
     "Destage",
+    "DeviceLimping",
     "Erase",
+    "FaultInjected",
     "Event",
     "EventTrace",
     "FlushBarrier",
@@ -59,8 +63,10 @@ __all__ = [
     "NullRecorder",
     "ObsRecorder",
     "RebuildProgress",
+    "RetryAttempt",
     "Sampler",
     "SegmentSealed",
+    "TimeoutExpired",
     "attach",
     "collect",
     "event_fields",

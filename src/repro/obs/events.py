@@ -105,9 +105,60 @@ class RebuildProgress(Event):
     total: int
 
 
+@dataclass(frozen=True)
+class FaultInjected(Event):
+    """The fault layer injected a fault into a device.
+
+    ``fault`` is the taxonomy entry (``transient``, ``fail-stop``,
+    ``power-cut``, ``limp``, ``corruption``); ``op`` names the request
+    that tripped it (empty for faults armed outside a request).
+    """
+
+    fault: str
+    op: str = ""
+
+
+@dataclass(frozen=True)
+class RetryAttempt(Event):
+    """A transient I/O error is being retried after backoff."""
+
+    attempt: int
+    op: str
+    delay: float
+
+
+@dataclass(frozen=True)
+class TimeoutExpired(Event):
+    """A request's retry/timeout budget ran out; the device is given up on."""
+
+    attempts: int
+    waited: float
+
+
+@dataclass(frozen=True)
+class DeviceLimping(Event):
+    """Fail-slow detection: a device's rolling p99 crossed the threshold."""
+
+    p99: float
+    threshold: float
+
+
+@dataclass(frozen=True)
+class BypassEntered(Event):
+    """SRC fell back to origin-bypass pass-through.
+
+    ``lost_dirty`` counts acknowledged dirty blocks that became
+    unreachable when the cache array stopped serving.
+    """
+
+    reason: str
+    lost_dirty: int
+
+
 EVENT_TYPES: List[Type[Event]] = [
     GcStart, GcEnd, Erase, FlushBarrier, SegmentSealed, Destage,
-    DegradedRead, RebuildProgress,
+    DegradedRead, RebuildProgress, FaultInjected, RetryAttempt,
+    TimeoutExpired, DeviceLimping, BypassEntered,
 ]
 
 

@@ -17,9 +17,12 @@ from dataclasses import dataclass
 from typing import Iterator, List, Tuple
 
 from repro.block.device import BlockDevice
-from repro.common.errors import ConfigError, RaidDegradedError
+from repro.common.errors import (ConfigError, DeviceFailedError,
+                                 RaidDegradedError, RequestTimeoutError)
 from repro.common.types import Op, Request
 from repro.common.units import KIB
+from repro.faults.policy import DEFAULT_RETRY, RetryPolicy
+from repro.faults.policy import submit_with_retry
 from repro.obs.events import DegradedRead, RebuildProgress
 
 
@@ -47,6 +50,36 @@ class _RaidBase(BlockDevice):
         self.data_members = data_members
         self.chunk_size = chunk_size
         self.stripes = member_size // chunk_size
+        # Resilience: transient member errors are retried under this
+        # policy; budget exhaustion converts the member to fail-stop.
+        self.retry_policy: RetryPolicy = DEFAULT_RETRY
+        self.member_retries = 0
+        self.member_failstops = 0
+
+    def _member_submit(self, index: int, req: Request, now: float) -> float:
+        """Submit to one member with bounded retry and backoff.
+
+        A member that exhausts its retry budget is marked failed and a
+        :class:`DeviceFailedError` is raised so redundancy-aware callers
+        can fall back (mirror, reconstruction) or surface the loss.
+        """
+        member = self.members[index]
+
+        def count_retry(_attempt: int) -> None:
+            self.member_retries += 1
+
+        try:
+            return submit_with_retry(member, req, now, self.retry_policy,
+                                     obs=self.obs, on_retry=count_retry)
+        except RequestTimeoutError as exc:
+            self.member_failstops += 1
+            if hasattr(member, "fail"):
+                member.fail()
+            else:
+                member.failed = True
+            raise DeviceFailedError(
+                f"{member.name}: retry budget exhausted "
+                f"({self.retry_policy.max_attempts} attempts)") from exc
 
     def _extents(self, req: Request) -> Iterator[_Extent]:
         offset, remaining = req.offset, req.length
@@ -64,8 +97,15 @@ class _RaidBase(BlockDevice):
             remaining -= take
 
     def _flush_all(self, now: float) -> float:
-        return max(m.submit(Request(Op.FLUSH), now) for m in self.members
-                   if not getattr(m, "failed", False))
+        end = now
+        for i, m in enumerate(self.members):
+            if getattr(m, "failed", False):
+                continue
+            try:
+                end = max(end, self._member_submit(i, Request(Op.FLUSH), now))
+            except DeviceFailedError:
+                continue   # a flush can't lose data we still hold
+        return end
 
 
 class Raid0Device(_RaidBase):
@@ -82,10 +122,10 @@ class Raid0Device(_RaidBase):
             return self._flush_all(now)
         end = now
         for ext in self._extents(req):
-            member = self.members[ext.chunk]
             off = ext.stripe * self.chunk_size + ext.offset
             sub = Request(req.op, off, ext.length, fua=req.fua)
-            end = max(end, member.submit(sub, now))
+            # No redundancy: a member lost after retries is fatal.
+            end = max(end, self._member_submit(ext.chunk, sub, now))
         return end
 
 
@@ -107,24 +147,39 @@ class Raid1Device(_RaidBase):
             return self._flush_all(now)
         end = now
         for ext in self._extents(req):
-            mirror_a, mirror_b = self._pair(ext.chunk)
             off = ext.stripe * self.chunk_size + ext.offset
             sub = Request(req.op, off, ext.length, fua=req.fua)
+            pair = (2 * ext.chunk, 2 * ext.chunk + 1)
             if req.op is Op.READ:
-                alive = [m for m in (mirror_a, mirror_b)
-                         if not getattr(m, "failed", False)]
+                alive = [i for i in pair
+                         if not getattr(self.members[i], "failed", False)]
                 if not alive:
                     raise RaidDegradedError(
                         f"{self.name}: both mirrors of chunk dead")
                 self._read_toggle ^= 1
-                end = max(end, alive[self._read_toggle % len(alive)]
-                          .submit(sub, now))
+                ordered = (alive[self._read_toggle % len(alive):]
+                           + alive[:self._read_toggle % len(alive)])
+                served = False
+                for i in ordered:
+                    try:
+                        end = max(end, self._member_submit(i, sub, now))
+                        served = True
+                        break
+                    except DeviceFailedError:
+                        continue   # fall back to the other mirror
+                if not served:
+                    raise RaidDegradedError(
+                        f"{self.name}: both mirrors of chunk dead")
             else:
                 wrote = False
-                for mirror in (mirror_a, mirror_b):
-                    if not getattr(mirror, "failed", False):
-                        end = max(end, mirror.submit(sub, now))
+                for i in pair:
+                    if getattr(self.members[i], "failed", False):
+                        continue
+                    try:
+                        end = max(end, self._member_submit(i, sub, now))
                         wrote = True
+                    except DeviceFailedError:
+                        continue
                 if not wrote and req.op is Op.WRITE:
                     raise RaidDegradedError(
                         f"{self.name}: both mirrors of chunk dead")
@@ -160,8 +215,7 @@ class _ParityRaid(_RaidBase):
     # ------------------------------------------------------------------
     def _service(self, req: Request, now: float) -> float:
         if req.op is Op.FLUSH:
-            return max(m.submit(Request(Op.FLUSH), now)
-                       for i, m in enumerate(self.members) if self._alive(i))
+            return self._flush_all(now)
         if req.op is Op.READ:
             return self._read(req, now)
         if req.op is Op.TRIM:
@@ -178,18 +232,30 @@ class _ParityRaid(_RaidBase):
             off = ext.stripe * self.chunk_size + ext.offset
             if self._alive(member_idx):
                 sub = Request(Op.READ, off, ext.length)
-                end = max(end, self.members[member_idx].submit(sub, now))
-            else:
-                # Degraded read: reconstruct from all surviving members.
-                if self.obs.enabled:
-                    self.obs.emit(DegradedRead(
-                        t=now, device=self.name,
-                        lba=(ext.stripe * self.data_members + ext.chunk)))
-                sub = Request(Op.READ, ext.stripe * self.chunk_size,
-                              self.chunk_size)
-                for i, member in enumerate(self.members):
-                    if i != member_idx:
-                        end = max(end, member.submit(sub, now))
+                try:
+                    end = max(end, self._member_submit(member_idx, sub, now))
+                    continue
+                except DeviceFailedError:
+                    # The member died mid-read; reconstruct if we still can.
+                    if len(self._failed_members()) > 1:
+                        raise RaidDegradedError(
+                            f"{self.name}: second member lost mid-read")
+            # Degraded read: reconstruct from all surviving members.
+            if self.obs.enabled:
+                self.obs.emit(DegradedRead(
+                    t=now, device=self.name,
+                    lba=(ext.stripe * self.data_members + ext.chunk)))
+            sub = Request(Op.READ, ext.stripe * self.chunk_size,
+                          self.chunk_size)
+            for i in range(len(self.members)):
+                if i == member_idx or not self._alive(i):
+                    continue
+                try:
+                    end = max(end, self._member_submit(i, sub, now))
+                except DeviceFailedError:
+                    raise RaidDegradedError(
+                        f"{self.name}: second member lost during "
+                        "reconstruction")
         return end
 
     def _write(self, req: Request, now: float) -> float:
@@ -236,7 +302,7 @@ class _ParityRaid(_RaidBase):
             for idx in read_targets:
                 if self._alive(idx):
                     sub = Request(Op.READ, stripe_off, self.chunk_size)
-                    end = max(end, self.members[idx].submit(sub, now))
+                    end = max(end, self._degradable_submit(idx, sub, now))
                     self.rmw_reads += 1
         write_start = end if not full_stripe else now
 
@@ -245,16 +311,33 @@ class _ParityRaid(_RaidBase):
             if self._alive(idx):
                 sub = Request(Op.WRITE, stripe_off + ext.offset, ext.length,
                               fua=req.fua)
-                end = max(end, self.members[idx].submit(sub, write_start))
+                end = max(end, self._degradable_submit(idx, sub, write_start))
         if self._alive(parity_idx):
             # Parity is rewritten for the stripe span that changed.
             span = max(ext.offset + ext.length for ext in extents)
             base = min(ext.offset for ext in extents)
             sub = Request(Op.WRITE, stripe_off + base, span - base,
                           fua=req.fua)
-            end = max(end, self.members[parity_idx].submit(sub, write_start))
+            end = max(end,
+                      self._degradable_submit(parity_idx, sub, write_start))
             self.parity_writes += 1
         return end
+
+    def _degradable_submit(self, idx: int, req: Request, now: float) -> float:
+        """Member submit that tolerates the first fail-stop conversion.
+
+        With a single member down the stripe is still reconstructible,
+        so the op proceeds (at zero added latency for the dead member);
+        a second loss surfaces as :class:`RaidDegradedError`.
+        """
+        try:
+            return self._member_submit(idx, req, now)
+        except DeviceFailedError:
+            if len(self._failed_members()) > 1:
+                raise RaidDegradedError(
+                    f"{self.name}: {len(self._failed_members())} members "
+                    "down") from None
+            return now
 
     def _trim(self, req: Request, now: float) -> float:
         end = now
@@ -262,8 +345,11 @@ class _ParityRaid(_RaidBase):
             idx = self._data_member(ext.stripe, ext.chunk)
             if self._alive(idx):
                 off = ext.stripe * self.chunk_size + ext.offset
-                end = max(end, self.members[idx]
-                          .submit(Request(Op.TRIM, off, ext.length), now))
+                try:
+                    end = max(end, self._member_submit(
+                        idx, Request(Op.TRIM, off, ext.length), now))
+                except DeviceFailedError:
+                    continue   # TRIM to a dying member loses nothing
         return end
 
     # ------------------------------------------------------------------

@@ -121,3 +121,29 @@ def test_replay_unknown_target(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_repro_error_exits_2_with_one_line_message(capsys):
+    # --scale 40 is a valid float but an absurd geometry: the stack
+    # raises ConfigError (a ReproError), which the CLI turns into a
+    # single stderr line and exit status 2 — no traceback.
+    assert main(["replay", "write", "--scale", "40"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: ConfigError:")
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_faults_verb_runs_small_matrix(capsys):
+    assert main(["faults", "--seeds", "1", "--points", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Crash-point torture" in out and "TOTAL" in out
+
+
+def test_faults_verb_json_telemetry_shows_injected_faults(capsys):
+    assert main(["faults", "--seeds", "1", "--points", "3",
+                 "--format", "json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["id"] == "faults"
+    result = data["results"][0]
+    assert result["columns"][0] == "Mode"
+    assert data["telemetry"]["events"]["counts"].get("FaultInjected", 0) > 0

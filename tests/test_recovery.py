@@ -209,3 +209,32 @@ def test_recovery_with_failed_ssd_still_scans():
     recovered, report = crash_and_recover(cache)
     assert report.segments_recovered == 1
     assert report.blocks_recovered > 0
+
+
+def test_recovery_scan_charges_no_io_to_failed_ssd():
+    """The scan's MS/ME reads skip the dead drive entirely."""
+    cache = make_src()
+    fill_segments(cache, 2, dirty=True)
+    cache.ssds[2].fail()
+    before = [ssd.stats.read_ops for ssd in cache.ssds]
+    crash_and_recover(cache)
+    after = [ssd.stats.read_ops for ssd in cache.ssds]
+    assert after[2] == before[2]
+    for i in (0, 1, 3):
+        assert after[i] > before[i]
+
+
+def test_recovery_checksum_failure_skips_block():
+    """A summary slot whose checksum disagrees is not replayed."""
+    cache = make_src()
+    fill_segments(cache, 1, dirty=True)
+    summary = cache.metadata.all_summaries()[-1]
+    bad_lba = summary.lbas[0]
+    summary.checksums[0] ^= 0xDEAD            # latent metadata damage
+    recovered, report = crash_and_recover(cache)
+    assert report.checksum_failures == 1
+    assert recovered.mapping.lookup(bad_lba) is None
+    assert report.blocks_recovered == len(summary.lbas) - 1
+    for lba in summary.lbas[1:]:
+        assert recovered.mapping.lookup(lba) is not None
+    recovered.mapping.check_invariants()

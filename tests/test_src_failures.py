@@ -142,3 +142,38 @@ def test_rebuild_requires_live_ssd():
     cache.ssds[0].fail()
     with pytest.raises(RaidDegradedError):
         cache.rebuild_ssd(0, 0.0)
+
+
+# ------------------------------------------------------------------
+# observability: failure handling narrates itself (satellite events)
+# ------------------------------------------------------------------
+def _recorded(cache):
+    from repro.obs import ObsRecorder
+    from repro.obs.recorder import attach
+    rec = ObsRecorder()
+    return attach(cache, rec), rec
+
+
+def test_degraded_read_emits_event():
+    cache, rec = _recorded(make_src())
+    now, cap = fill_one_dirty_segment(cache)
+    entry = cache.mapping.lookup(0)
+    cache.ssds[entry.location.ssd].fail()
+    cache.read(0, PAGE_SIZE, now + 1.0)
+    counts = rec.trace.counts()
+    assert counts.get("DegradedRead") == 1
+    event = [e for e in rec.trace.events if e.kind == "DegradedRead"][0]
+    assert event.lba == 0
+
+
+def test_rebuild_emits_progress_events():
+    cache, rec = _recorded(make_src())
+    now, cap = fill_one_dirty_segment(cache)
+    cache.flush_partial(now)
+    victim = 1
+    cache.ssds[victim].fail()
+    cache.ssds[victim].repair()
+    cache.rebuild_ssd(victim, now + 1.0)
+    progress = [e for e in rec.trace.events if e.kind == "RebuildProgress"]
+    assert progress
+    assert progress[-1].done == progress[-1].total > 0
