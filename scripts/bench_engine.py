@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Host-throughput benchmark for the split-phase engine.
+
+Drives a Figure-2-style stack — one preconditioned, scaled-down
+commodity SSD under uniform-random 4 KiB writes — through the
+closed-loop engine and measures *wall-clock* requests per second: how
+fast the simulator itself chews through the pipeline (issue → admit →
+service → retire), not the simulated MB/s.  The number is the guard
+rail for engine-hot-path regressions; run it before and after touching
+``repro.sim.engine``, ``repro.block.device`` or
+``repro.block.lifecycle``.
+
+Scenarios cover both lifecycle paths: the plain-float fast path
+(``submit``) and the ``Submission`` path (``submit_request``), each at
+iodepth 1 and at the paper's FIO depth of 32.
+
+Writes ``BENCH_engine.json``::
+
+    python scripts/bench_engine.py --requests 20000 --out BENCH_engine.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.common.units import KIB                      # noqa: E402
+from repro.sim.engine import run_streams                # noqa: E402
+from repro.ssd.device import SSDDevice, precondition    # noqa: E402
+from repro.ssd.spec import SATA_MLC_128                 # noqa: E402
+from repro.workloads.fio import uniform_random          # noqa: E402
+
+SCALE = 1 / 32
+FILL = 0.90          # leave GC headroom so service cost stays typical
+
+
+def _build_ssd(seed: int) -> SSDDevice:
+    ssd = SSDDevice(SATA_MLC_128.scaled(SCALE))
+    precondition(ssd, fill_fraction=FILL)
+    return ssd
+
+
+def _scenario(name: str, requests: int, iodepth: int,
+              submission: bool, seed: int) -> dict:
+    ssd = _build_ssd(seed)
+    span = int(ssd.size * FILL)
+    if submission:
+        def issue(req, now):
+            return ssd.submit_request(req, now)
+    else:
+        def issue(req, now):
+            return ssd.submit(req, now)
+    stream = uniform_random(span, request_size=4 * KIB, seed=seed)
+    wall_start = time.perf_counter()
+    result = run_streams(issue, [stream], duration=float("inf"),
+                         max_requests=requests, iodepth=iodepth)
+    wall = time.perf_counter() - wall_start
+    return {
+        "scenario": name,
+        "iodepth": iodepth,
+        "submission_path": submission,
+        "requests": result.completed_ops,
+        "wall_seconds": round(wall, 4),
+        "reqs_per_sec": round(result.completed_ops / wall) if wall else None,
+        "simulated_seconds": round(result.elapsed, 4),
+        "mean_queue_delay_us": round(result.queue_delay.mean * 1e6, 2)
+        if result.queue_delay.count else 0.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=20000,
+                        help="requests per scenario (default 20000)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", type=Path,
+                        default=Path("BENCH_engine.json"))
+    args = parser.parse_args(argv)
+
+    scenarios = [
+        _scenario("float/depth1", args.requests, 1, False, args.seed),
+        _scenario("float/depth32", args.requests, 32, False, args.seed),
+        _scenario("submission/depth1", args.requests, 1, True, args.seed),
+        _scenario("submission/depth32", args.requests, 32, True, args.seed),
+    ]
+    headline = min(s["reqs_per_sec"] for s in scenarios)
+    payload = {
+        "benchmark": "engine host throughput (fig2-style single-SSD stack)",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "requests_per_scenario": args.requests,
+        "reqs_per_sec_min": headline,
+        "scenarios": scenarios,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    for s in scenarios:
+        print(f"{s['scenario']:>20}: {s['reqs_per_sec']:>9,} req/s wall "
+              f"({s['requests']} reqs in {s['wall_seconds']}s)")
+    print(f"wrote {args.out} (min {headline:,} req/s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

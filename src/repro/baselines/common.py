@@ -13,7 +13,7 @@ import enum
 from dataclasses import dataclass, fields
 
 from repro.block.device import BlockDevice
-from repro.common.types import Op, Request
+from repro.common.types import IoOrigin, Op, Request
 from repro.common.units import PAGE_SIZE
 from repro.obs.events import Destage
 from repro.obs.recorder import NULL_RECORDER
@@ -125,7 +125,8 @@ class WritebackScheduler:
                 continue
             length = (prev - run_start + 1) * PAGE_SIZE
             end = max(end, self.origin.submit(
-                Request(Op.WRITE, run_start * PAGE_SIZE, length), now))
+                Request(Op.WRITE, run_start * PAGE_SIZE, length,
+                        origin=IoOrigin.DESTAGE), now))
             if lba is not None:
                 run_start = prev = lba
         self.destaged += len(lbas)

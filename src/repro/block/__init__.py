@@ -1,1 +1,10 @@
 """Block-device abstraction (the Device Mapper analogue)."""
+
+from repro.block.device import (BlockDevice, LinearDevice, NullDevice,
+                                StatsDevice)
+from repro.block.lifecycle import QueuedDevice, QueueStats, Submission
+
+__all__ = [
+    "BlockDevice", "LinearDevice", "NullDevice", "StatsDevice",
+    "QueuedDevice", "QueueStats", "Submission",
+]

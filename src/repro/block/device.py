@@ -14,6 +14,7 @@ from __future__ import annotations
 import abc
 from typing import List
 
+from repro.block.lifecycle import Submission
 from repro.common.errors import AddressError
 from repro.common.types import IoStats, Op, Request
 from repro.obs.metrics import Histogram
@@ -21,7 +22,18 @@ from repro.obs.recorder import NULL_RECORDER
 
 
 class BlockDevice(abc.ABC):
-    """Abstract simulated block device."""
+    """Abstract simulated block device.
+
+    Requests run a split-phase lifecycle: ``submit`` validates and
+    accounts the request, asks :meth:`_admit` when service may begin
+    (the base class admits immediately; the
+    :class:`~repro.block.lifecycle.QueuedDevice` mixin delays admission
+    past a queue-depth limit), runs :meth:`_service` from that begin
+    time, and hands the completed timestamps to :meth:`_retire` for
+    queue bookkeeping.  ``submit`` returns the completion time;
+    ``submit_request`` returns the full
+    :class:`~repro.block.lifecycle.Submission`.
+    """
 
     def __init__(self, size: int, name: str = ""):
         self.size = size
@@ -33,17 +45,38 @@ class BlockDevice(abc.ABC):
     def _service(self, req: Request, now: float) -> float:
         """Device-specific handling; returns completion time."""
 
-    def submit(self, req: Request, now: float) -> float:
-        """Validate, account and service a request."""
+    # -- lifecycle hooks (overridden by QueuedDevice) ------------------
+    def _admit(self, req: Request, now: float) -> float:
+        """When service may begin; the no-queue fast path is ``now``."""
+        return now
+
+    def _retire(self, req: Request, now: float, begin: float,
+                done: float) -> None:
+        """Completion bookkeeping; no-op without a queue."""
+
+    def _lifecycle(self, req: Request, now: float) -> "tuple[float, float]":
+        """Validate, account, admit, service, retire: (begin, done)."""
         if req.op is not Op.FLUSH and req.end > self.size:
             raise AddressError(
                 f"{self.name}: request [{req.offset}, {req.end}) beyond "
                 f"device size {self.size}")
         self.stats.record(req)
-        done = self._service(req, now)
+        begin = self._admit(req, now)
+        done = self._service(req, begin)
+        self._retire(req, now, begin, done)
         if self.obs.enabled:
             self.obs.observe_io(self, req, now, done)
-        return done
+        return begin, done
+
+    def submit(self, req: Request, now: float) -> float:
+        """Validate, account and service a request."""
+        return self._lifecycle(req, now)[1]
+
+    def submit_request(self, req: Request, now: float) -> Submission:
+        """Like :meth:`submit`, but return the full lifecycle record."""
+        begin, done = self._lifecycle(req, now)
+        return Submission(req=req, device=self.name, issue_t=now,
+                          begin_t=begin, done_t=done, origin=req.origin)
 
     # Convenience helpers used heavily by tests and examples.
     def read(self, offset: int, length: int, now: float) -> float:
@@ -91,7 +124,7 @@ class LinearDevice(BlockDevice):
         if req.op is Op.FLUSH:
             return self.lower.submit(req, now)
         shifted = Request(req.op, req.offset + self.start, req.length,
-                          fua=req.fua)
+                          fua=req.fua, origin=req.origin)
         return self.lower.submit(shifted, now)
 
 

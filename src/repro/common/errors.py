@@ -13,6 +13,16 @@ class AddressError(ReproError):
     """An I/O request fell outside the device's address space."""
 
 
+class TimingError(ReproError, ValueError):
+    """Simulated-time bookkeeping was asked to do something impossible.
+
+    Raised when a resource timeline is asked to occupy a server for a
+    negative duration or similar time-arithmetic misuse.  Inherits
+    :class:`ValueError` so pre-hierarchy callers that guarded the old
+    bare ``ValueError`` keep working.
+    """
+
+
 class DeviceFailedError(ReproError):
     """An I/O was issued to a device that has failed (fail-stop)."""
 

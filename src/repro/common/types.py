@@ -22,19 +22,40 @@ class Op(enum.Enum):
     TRIM = "trim"     # advise the device the range is dead (discard)
 
 
+class IoOrigin(enum.Enum):
+    """Who generated an I/O — the attribution axis of the lifecycle.
+
+    Foreground I/O is application-visible work whose latency the host
+    observes; the background origins (garbage collection, destage,
+    rebuild) occupy the same device resources but their completion is
+    not waited on by the application ack path.  Devices account bytes
+    per origin (:attr:`IoStats.bytes_by_origin`), which is what lets
+    the harnesses report GC/foreground overlap directly.
+    """
+
+    FOREGROUND = "fg"
+    GC = "gc"
+    DESTAGE = "destage"
+    REBUILD = "rebuild"
+
+
 @dataclass
 class Request:
     """A block-layer I/O request.
 
     ``offset`` and ``length`` are in bytes.  ``fua`` marks a Force Unit
     Access write (write-through the device cache).  FLUSH requests carry
-    zero length.
+    zero length.  ``origin`` attributes the request to foreground work
+    or one of the background services (GC, destage, rebuild); layers
+    that transform a request must propagate it to the sub-requests they
+    issue so per-device attribution stays truthful.
     """
 
     op: Op
     offset: int = 0
     length: int = 0
     fua: bool = False
+    origin: IoOrigin = IoOrigin.FOREGROUND
 
     def __post_init__(self) -> None:
         if self.offset < 0 or self.length < 0:
@@ -80,6 +101,7 @@ class IoStats:
     flush_ops: int = 0
     trim_ops: int = 0
     trim_bytes: int = 0
+    bytes_by_origin: dict = field(default_factory=dict)
 
     def record(self, req: Request) -> None:
         if req.op is Op.READ:
@@ -90,9 +112,14 @@ class IoStats:
             self.write_bytes += req.length
         elif req.op is Op.FLUSH:
             self.flush_ops += 1
+            return
         elif req.op is Op.TRIM:
             self.trim_ops += 1
             self.trim_bytes += req.length
+            return
+        key = req.origin.value
+        self.bytes_by_origin[key] = (
+            self.bytes_by_origin.get(key, 0) + req.length)
 
     @property
     def total_bytes(self) -> int:
@@ -102,10 +129,24 @@ class IoStats:
     def total_ops(self) -> int:
         return self.read_ops + self.write_ops + self.flush_ops + self.trim_ops
 
+    @property
+    def foreground_bytes(self) -> int:
+        """READ/WRITE bytes attributed to application-visible work."""
+        return self.bytes_by_origin.get(IoOrigin.FOREGROUND.value, 0)
+
+    @property
+    def background_bytes(self) -> int:
+        """READ/WRITE bytes attributed to GC, destage and rebuild."""
+        return sum(v for k, v in self.bytes_by_origin.items()
+                   if k != IoOrigin.FOREGROUND.value)
+
     def as_dict(self) -> dict:
         data = dict(self.__dict__)
+        data["bytes_by_origin"] = dict(self.bytes_by_origin)
         data["total_bytes"] = self.total_bytes
         data["total_ops"] = self.total_ops
+        data["foreground_bytes"] = self.foreground_bytes
+        data["background_bytes"] = self.background_bytes
         return data
 
     @classmethod
@@ -117,10 +158,16 @@ class IoStats:
         return IoStats(
             self.read_bytes, self.write_bytes, self.read_ops,
             self.write_ops, self.flush_ops, self.trim_ops, self.trim_bytes,
+            dict(self.bytes_by_origin),
         )
 
     def delta(self, earlier: "IoStats") -> "IoStats":
         """Counters accumulated since ``earlier`` was snapshotted."""
+        origins = {
+            k: self.bytes_by_origin.get(k, 0)
+            - earlier.bytes_by_origin.get(k, 0)
+            for k in set(self.bytes_by_origin) | set(earlier.bytes_by_origin)
+        }
         return IoStats(
             self.read_bytes - earlier.read_bytes,
             self.write_bytes - earlier.write_bytes,
@@ -129,6 +176,7 @@ class IoStats:
             self.flush_ops - earlier.flush_ops,
             self.trim_ops - earlier.trim_ops,
             self.trim_bytes - earlier.trim_bytes,
+            {k: v for k, v in origins.items() if v},
         )
 
 

@@ -28,7 +28,7 @@ from repro.block.device import BlockDevice
 from repro.common.checksum import block_checksum
 from repro.common.errors import (ConfigError, DeviceFailedError,
                                  RaidDegradedError, RequestTimeoutError)
-from repro.common.types import Op, Request
+from repro.common.types import IoOrigin, Op, Request
 from repro.common.units import PAGE_SIZE
 from repro.core.buffers import SegmentBuffer, StagingBuffer
 from repro.core.config import (CleanRedundancy, FlushPoint, GcScheme,
@@ -40,9 +40,9 @@ from repro.core.metadata import (MetadataStore, SegmentSummary, Superblock,
                                  SRC_MAGIC)
 from repro.faults.failslow import FailSlowDetector
 from repro.faults.policy import RetryPolicy, submit_with_retry
-from repro.obs.events import (BypassEntered, DegradedRead, Destage,
-                              DeviceLimping, FlushBarrier, GcEnd, GcStart,
-                              RebuildProgress, SegmentSealed)
+from repro.obs.events import (BackpressureStall, BypassEntered, DegradedRead,
+                              Destage, DeviceLimping, FlushBarrier, GcEnd,
+                              GcStart, RebuildProgress, SegmentSealed)
 
 RAM_LATENCY = 2e-6  # buffer hit / insert latency
 
@@ -60,6 +60,9 @@ class SrcStats:
     gc_destaged_blocks: int = 0
     gc_dropped_clean: int = 0
     flush_commands: int = 0
+    background_reclaims: int = 0
+    throttle_stalls: int = 0
+    throttle_wait_s: float = 0.0
     corruption_repairs: int = 0
     parity_reconstructions: int = 0
     degraded_reads: int = 0
@@ -138,6 +141,11 @@ class SrcCache(CacheTarget):
         self._versions: Dict[int, int] = {}
         self._last_dirty_write = 0.0
         self._in_gc = False
+        # Background reclaim bookkeeping: group index -> simulated time
+        # at which its (already state-applied) reclaim I/O completes on
+        # the devices.  A foreground roll that takes such a group before
+        # that time throttles until the group is time-wise ready.
+        self._group_ready: Dict[int, float] = {}
 
         # Resilience policies (docs/fault_model.md).
         self.bypass = False
@@ -313,9 +321,17 @@ class SrcCache(CacheTarget):
         self.staging.pop(block)
         self._version_of(block, bump=True)
         full = self.dirty_buf.add(block)
-        self._last_dirty_write = now
+        # max(): an in-flight segment write's ack may already extend the
+        # activity horizon past this issue time (streams interleave).
+        self._last_dirty_write = max(self._last_dirty_write, now)
         if full:
-            return self._write_segment(dirty=True, now=now)
+            end = self._write_segment(dirty=True, now=now)
+            # Dirty-write activity lasts until the segment write is
+            # acknowledged: a long ack (inline GC, backpressure stall)
+            # is device busy time, not TWAIT idleness, and must not
+            # trip the timeout into flushing partial segments.
+            self._last_dirty_write = max(self._last_dirty_write, end)
+            return end
         return now + RAM_LATENCY
 
     # ==================================================================
@@ -538,7 +554,34 @@ class SrcCache(CacheTarget):
         # flush control (§4.1): per segment, or per SG boundary.
         if (self.config.flush_point is FlushPoint.PER_SEGMENT
                 or group_done):
-            end = self._flush_ssds(end)
+            flush_end = self._flush_ssds(end)
+            # Internal durability flushes drain the drives' buffered
+            # backlog — including background reclaim I/O.  Inline mode
+            # glues that drain onto the application ack; background
+            # mode lets it ride behind (the drain still occupies the
+            # NAND timelines, so later I/O queues after it).  The
+            # application-initiated flush path (handle_flush) always
+            # blocks regardless of mode.
+            if not self.config.background_reclaim:
+                end = flush_end
+        # Watermark-driven background reclaim.  Below the high
+        # watermark the scheduler trickles: one victim group at a time,
+        # and only once the previous reclaim's device I/O has finished
+        # (pacing — an unbounded backlog of copy writes would push
+        # every later foreground ack out through the drives' buffers).
+        # Kicking at the HIGH watermark keeps headroom above the hard
+        # floor, so foreground rolls rarely wait on an unfinished
+        # reclaim; waiting throttles the foreground, which slows
+        # invalidation, which makes the next victims more valid — a
+        # feedback loop that settles at high amplification.
+        # State is applied immediately; the reclaim I/O is issued from
+        # this segment's ack time onward, so it overlaps with
+        # subsequent foreground writes instead of extending this one's
+        # acknowledgement.  If the trickle cannot keep up, the roll
+        # path stalls at the hard floor (backpressure).
+        if (self.config.background_reclaim and not self._in_gc
+                and len(self._free) < self.config.gc_free_low):
+            self._reclaim_until(self.config.gc_free_high, end)
         return end
 
     def _issue_unit_writes(self, sg: int, segment: int, nblocks: int,
@@ -549,6 +592,7 @@ class SrcCache(CacheTarget):
         parity_ssd = (self.layout.parity_ssd(sg, segment)
                       if with_parity else -1)
         base = self.layout.unit_offset(sg, segment)
+        origin = IoOrigin.GC if self._in_gc else IoOrigin.FOREGROUND
         end = now
         blocks_left = nblocks
         for idx in data_ssds:
@@ -563,7 +607,7 @@ class SrcCache(CacheTarget):
                 length = self.layout.unit_blocks * PAGE_SIZE
             if self._alive(idx):
                 done = self._ssd_submit(
-                    idx, Request(Op.WRITE, base, length), now)
+                    idx, Request(Op.WRITE, base, length, origin=origin), now)
                 if done is not None:
                     end = max(end, done)
         if parity_ssd >= 0 and self._alive(parity_ssd):
@@ -574,7 +618,8 @@ class SrcCache(CacheTarget):
             if rows == per_unit:
                 length = self.layout.unit_blocks * PAGE_SIZE
             done = self._ssd_submit(
-                parity_ssd, Request(Op.WRITE, base, length), now)
+                parity_ssd, Request(Op.WRITE, base, length, origin=origin),
+                now)
             if done is not None:
                 end = max(end, done)
         return end
@@ -609,6 +654,13 @@ class SrcCache(CacheTarget):
         group reentrantly and installs a fresh active SG; in that case
         the outer roll must NOT take another group or the GC-opened one
         would leak (neither active, closed, nor free).
+
+        With ``background_reclaim`` the reclaim's device I/O overlaps
+        with foreground work: its completion time is recorded per group
+        in ``_group_ready`` instead of extending this roll's return
+        time.  Foreground throttles only when it takes a group whose
+        reclaim has not yet finished — the backpressure path at the
+        free-space hard floor.
         """
         rolled = self.active
         if rolled.state is not _GroupState.CLOSED:
@@ -616,9 +668,35 @@ class SrcCache(CacheTarget):
             self._closed_fifo.append(rolled.index)
         end = now
         if not self._in_gc and len(self._free) < self.config.gc_free_low:
-            end = self._reclaim_until(self.config.gc_free_high, end)
+            if self.config.background_reclaim:
+                # The trickle (kicked after segment writes) normally
+                # keeps free groups above the low watermark; reaching
+                # it here is the hard floor.  Reclaim state now — the
+                # I/O time still lands in _group_ready, so the cost
+                # surfaces as backpressure below, not as gc time glued
+                # onto this roll.  Forced S2D: when reclaim has fallen
+                # behind the foreground, copying forward (S2S) consumes
+                # the very groups it frees and the system can settle
+                # into a GC-feeds-GC equilibrium; destaging always
+                # gains a whole group and sheds dirty data, letting
+                # the trickle catch back up.
+                self._reclaim_until(self.config.gc_free_low, end,
+                                    force_s2d=True)
+            else:
+                end = self._reclaim_until(self.config.gc_free_high, end)
         if self.active is rolled:
             self.active = self._take_free_group()
+            ready = self._group_ready.pop(self.active.index, 0.0)
+            if ready > end:
+                waited = ready - end
+                if not self._in_gc:
+                    self.srcstats.throttle_stalls += 1
+                    self.srcstats.throttle_wait_s += waited
+                    if self.obs.enabled:
+                        self.obs.emit(BackpressureStall(
+                            t=ready, device=self.name, waited=waited,
+                            free_groups=len(self._free)))
+                end = ready
         return end
 
     # ==================================================================
@@ -646,7 +724,8 @@ class SrcCache(CacheTarget):
         age = max(1, self._sg_sequence - self.groups[sg].sequence)
         return age * (1.0 - u) / (1.0 + u)
 
-    def _reclaim_until(self, target_free: int, now: float) -> float:
+    def _reclaim_until(self, target_free: int, now: float,
+                       force_s2d: bool = False) -> float:
         self._in_gc = True
         try:
             end = now
@@ -661,7 +740,8 @@ class SrcCache(CacheTarget):
                 # fall back to S2D, which always frees (§4.2's UMAX bound
                 # exists for exactly this pressure regime).
                 end = self._collect_group(victim, end,
-                                          force_s2d=stalled >= 2)
+                                          force_s2d=force_s2d
+                                          or stalled >= 2)
                 stalled = stalled + 1 if len(self._free) <= before else 0
             return end
         finally:
@@ -693,6 +773,12 @@ class SrcCache(CacheTarget):
         group.next_segment = 0
         self._closed_fifo.remove(victim)
         self._free.insert(0, victim)
+        if self.config.background_reclaim:
+            # State is applied instantly, but the reclaim's device I/O
+            # finishes at ``end``; a writer taking this group earlier
+            # must wait for it (backpressure in _roll_group).
+            self._group_ready[victim] = end
+            self.srcstats.background_reclaims += 1
         if self.obs.enabled:
             self.obs.emit(GcEnd(t=end, device=self.name, victim=victim,
                                 moved_pages=len(blocks)))
@@ -734,7 +820,7 @@ class SrcCache(CacheTarget):
                 self.hotness.evict(lba)
         # Only the blocks being kept need to be read off the victim.
         read_end = self._bulk_read(victim, [lba for lba, _ in copy_list],
-                                   now)
+                                   now, IoOrigin.GC)
         if self.config.separate_hot_clean:
             copy_list.sort(key=lambda item: item[1].dirty)
         copied_dirty = False
@@ -763,7 +849,7 @@ class SrcCache(CacheTarget):
         """Write dirty blocks back to the origin, coalescing extents."""
         if not lbas:
             return now
-        read_end = self._bulk_read(victim, lbas, now)
+        read_end = self._bulk_read(victim, lbas, now, IoOrigin.DESTAGE)
         end = read_end
         run_start = prev = lbas[0]
         for lba in lbas[1:] + [None]:
@@ -772,7 +858,8 @@ class SrcCache(CacheTarget):
                 continue
             length = (prev - run_start + 1) * PAGE_SIZE
             end = max(end, self.origin.submit(
-                Request(Op.WRITE, run_start * PAGE_SIZE, length), read_end))
+                Request(Op.WRITE, run_start * PAGE_SIZE, length,
+                        origin=IoOrigin.DESTAGE), read_end))
             if lba is not None:
                 run_start = prev = lba
         self.srcstats.gc_destaged_blocks += len(lbas)
@@ -782,7 +869,8 @@ class SrcCache(CacheTarget):
                                   blocks=len(lbas)))
         return end
 
-    def _bulk_read(self, victim: int, lbas: List[int], now: float) -> float:
+    def _bulk_read(self, victim: int, lbas: List[int], now: float,
+                   origin: IoOrigin = IoOrigin.GC) -> float:
         """Read a victim SG's valid blocks, merging contiguous spans."""
         if not lbas:
             return now
@@ -805,7 +893,8 @@ class SrcCache(CacheTarget):
                     continue
                 length = prev - run_start + PAGE_SIZE
                 done = self._ssd_submit(
-                    ssd_idx, Request(Op.READ, run_start, length), now)
+                    ssd_idx, Request(Op.READ, run_start, length,
+                                     origin=origin), now)
                 if done is not None:
                     end = max(end, done)
                 if off is not None:
@@ -834,8 +923,8 @@ class SrcCache(CacheTarget):
         if (not self.dirty_buf.empty
                 and now - self._last_dirty_write > self.config.t_wait):
             self.srcstats.timeout_flushes += 1
-            self._write_segment(dirty=True, now=now)
-            self._last_dirty_write = now
+            end = self._write_segment(dirty=True, now=now)
+            self._last_dirty_write = max(now, end)
 
     def flush_partial(self, now: float) -> float:
         """Force out a partial dirty segment (timeout path, tests)."""
@@ -906,11 +995,13 @@ class SrcCache(CacheTarget):
                 for other in involved:
                     if other != ssd_idx and self._alive(other):
                         got = self._ssd_submit(
-                            other, Request(Op.READ, base, length), now)
+                            other, Request(Op.READ, base, length,
+                                           origin=IoOrigin.REBUILD), now)
                         if got is not None:
                             step = max(step, got)
                 wrote = self._ssd_submit(
-                    ssd_idx, Request(Op.WRITE, base, length), step)
+                    ssd_idx, Request(Op.WRITE, base, length,
+                                     origin=IoOrigin.REBUILD), step)
                 if wrote is not None:
                     end = max(end, wrote)
             else:

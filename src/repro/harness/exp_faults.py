@@ -97,11 +97,12 @@ class CaseResult:
     violations: List[str] = field(default_factory=list)
 
 
-def _build_stack(break_seal: bool = False) -> Tuple[
+def _build_stack(break_seal: bool = False,
+                 config: SrcConfig = TORTURE_CONFIG) -> Tuple[
         SrcCache, List[FaultInjector], FaultInjector, MetadataStore]:
     ssds = [FaultInjector(SSDDevice(TORTURE_SSD, name=f"t{i}"),
                           name=f"fault{i}")
-            for i in range(TORTURE_CONFIG.n_ssds)]
+            for i in range(config.n_ssds)]
     origin = FaultInjector(
         PrimaryStorage(n_disks=2, disk_spec=DiskSpec(capacity=2 * GIB)),
         name="fault-origin", record_writes=True)
@@ -111,7 +112,7 @@ def _build_stack(break_seal: bool = False) -> Tuple[
         # written, so every segment stays torn and recovery must throw
         # away data the harness knows was acknowledged.
         metadata.seal_summary = lambda sg, segment: None
-    cache = SrcCache(ssds, origin, TORTURE_CONFIG, metadata=metadata)
+    cache = SrcCache(ssds, origin, config, metadata=metadata)
     return obs_attach(cache), ssds, origin, metadata
 
 
@@ -135,13 +136,14 @@ def _arm(case: CaseResult, ssds: List[FaultInjector],
         ssds[0].plan = FaultPlan(seed=case.seed, power_cut_at=at)
 
 
-def run_case(seed: int, point: int,
-             break_seal: bool = False) -> CaseResult:
+def run_case(seed: int, point: int, break_seal: bool = False,
+             config: SrcConfig = TORTURE_CONFIG) -> CaseResult:
     """Run one seeded workload to one crash point and check recovery."""
     case = CaseResult(seed=seed, point=point, mode=MODES[point % len(MODES)],
                       crashed=False, ops_before_crash=0, torn_at_crash=0)
     rng = random.Random((seed << 20) ^ point)
-    cache, ssds, origin, metadata = _build_stack(break_seal=break_seal)
+    cache, ssds, origin, metadata = _build_stack(break_seal=break_seal,
+                                                 config=config)
     _arm(case, ssds, origin, rng)
 
     buffered: set = set()     # acked into RAM only — may be lost
@@ -167,7 +169,7 @@ def run_case(seed: int, point: int,
                 sealed.add(done)
             now = max(now, end) + 10e-6
             if rng.random() < 0.01:
-                now += TORTURE_CONFIG.t_wait * 1.5   # idle: TWAIT path
+                now += config.t_wait * 1.5   # idle: TWAIT path
     except PowerCutError:
         case.crashed = True
 
@@ -180,7 +182,7 @@ def run_case(seed: int, point: int,
     for injector in ssds + [origin]:
         injector.disarm()
 
-    recovered, report = recover(ssds, origin, TORTURE_CONFIG, metadata)
+    recovered, report = recover(ssds, origin, config, metadata)
     case.segments_recovered = report.segments_recovered
     case.blocks_recovered = report.blocks_recovered
 

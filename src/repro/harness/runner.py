@@ -18,11 +18,16 @@ TRACE_GROUPS = ("write", "mixed", "read")
 
 
 def run_trace_group(target: CacheTarget, group: str,
-                    es: ExperimentScale) -> ReplayResult:
-    """Replay one Table 6 trace group with the preset's windows."""
+                    es: ExperimentScale,
+                    think_time: float = 0.0) -> ReplayResult:
+    """Replay one Table 6 trace group with the preset's windows.
+
+    ``think_time`` paces each replay thread below saturation (zero, the
+    default, is the paper's saturated replay).
+    """
     return replay_group(target, group, scale=es.scale,
                         duration=es.duration, warmup=es.warmup,
-                        seed=es.seed)
+                        seed=es.seed, think_time=think_time)
 
 
 def run_all_groups(build: Callable[[], CacheTarget],

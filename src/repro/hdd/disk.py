@@ -24,6 +24,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.block.device import BlockDevice
+from repro.block.lifecycle import QueuedDevice
 from repro.common.errors import ConfigError
 from repro.common.types import Op, Request
 from repro.sim.timeline import Timeline
@@ -43,10 +44,13 @@ class DiskSpec:
     recent_positions: int = 32           # NCQ reordering depth proxy
     read_positioning_factor: float = 0.5   # elevator discount for reads
     write_positioning_factor: float = 0.2  # write-cache + sorted destage
+    queue_depth: int = 32                  # NCQ command slots (0 = unbounded)
 
     def __post_init__(self) -> None:
         if self.rpm <= 0 or self.capacity <= 0 or self.transfer_bw <= 0:
             raise ConfigError("disk parameters must be positive")
+        if self.queue_depth < 0:
+            raise ConfigError("queue_depth must be >= 0 (0 = unbounded)")
         if not 0 < self.read_positioning_factor <= 1:
             raise ConfigError("read_positioning_factor must be in (0,1]")
         if not 0 < self.write_positioning_factor <= 1:
@@ -58,11 +62,12 @@ class DiskSpec:
         return 0.5 * 60.0 / self.rpm
 
 
-class DiskDevice(BlockDevice):
+class DiskDevice(QueuedDevice, BlockDevice):
     """One simulated spinning disk (FCFS with locality credit)."""
 
     def __init__(self, spec: DiskSpec = DiskSpec(), name: str = ""):
         super().__init__(spec.capacity, name or spec.name)
+        self.init_queue(spec.queue_depth)
         self.spec = spec
         self.arm = Timeline(1)
         self._recent: deque = deque(maxlen=spec.recent_positions)

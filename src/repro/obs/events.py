@@ -106,6 +106,21 @@ class RebuildProgress(Event):
 
 
 @dataclass(frozen=True)
+class BackpressureStall(Event):
+    """Foreground work throttled behind background reclaim.
+
+    Emitted when a foreground segment-group roll needed a group whose
+    background reclaim had not yet completed: the write waits
+    ``waited`` seconds for the group to become ready.  ``free_groups``
+    is the state-wise free count at stall time (space existed — it was
+    the reclaim *time* that had not caught up).
+    """
+
+    waited: float
+    free_groups: int
+
+
+@dataclass(frozen=True)
 class FaultInjected(Event):
     """The fault layer injected a fault into a device.
 
@@ -157,8 +172,8 @@ class BypassEntered(Event):
 
 EVENT_TYPES: List[Type[Event]] = [
     GcStart, GcEnd, Erase, FlushBarrier, SegmentSealed, Destage,
-    DegradedRead, RebuildProgress, FaultInjected, RetryAttempt,
-    TimeoutExpired, DeviceLimping, BypassEntered,
+    DegradedRead, RebuildProgress, BackpressureStall, FaultInjected,
+    RetryAttempt, TimeoutExpired, DeviceLimping, BypassEntered,
 ]
 
 

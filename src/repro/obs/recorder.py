@@ -42,6 +42,9 @@ class NullRecorder:
     def observe_io(self, device, req, issued: float, done: float) -> None:
         pass
 
+    def observe_queue(self, device, depth: int, delay: float) -> None:
+        pass
+
 
 NULL_RECORDER = NullRecorder()
 
@@ -58,6 +61,7 @@ class ObsRecorder:
         self.sampler: Optional[Sampler] = (
             Sampler(sample_interval) if sample_interval > 0 else None)
         self._latency: dict = {}
+        self._queues: dict = {}
 
     def emit(self, event: Event) -> None:
         self.trace.append(event)
@@ -69,6 +73,23 @@ class ObsRecorder:
             hist = self.registry.histogram(f"dev.{device.name}.latency_s")
             self._latency[device.name] = hist
         hist.record(done - issued)
+
+    def observe_queue(self, device, depth: int, delay: float) -> None:
+        """Queue-occupancy hook from ``QueuedDevice._retire``.
+
+        Keeps a live queue-depth gauge per device plus a histogram of
+        nonzero queueing delays, so a collected stats tree shows where
+        submissions waited for slots.
+        """
+        pair = self._queues.get(device.name)
+        if pair is None:
+            pair = (self.registry.gauge(f"dev.{device.name}.queue_depth"),
+                    self.registry.histogram(
+                        f"dev.{device.name}.queue_delay_s"))
+            self._queues[device.name] = pair
+        pair[0].set(depth)
+        if delay > 0:
+            pair[1].record(delay)
 
     def device_latency(self, name: str) -> Optional[Histogram]:
         return self._latency.get(name)

@@ -19,7 +19,7 @@ from typing import Iterator, List, Tuple
 from repro.block.device import BlockDevice
 from repro.common.errors import (ConfigError, DeviceFailedError,
                                  RaidDegradedError, RequestTimeoutError)
-from repro.common.types import Op, Request
+from repro.common.types import IoOrigin, Op, Request
 from repro.common.units import KIB
 from repro.faults.policy import DEFAULT_RETRY, RetryPolicy
 from repro.faults.policy import submit_with_retry
@@ -123,7 +123,8 @@ class Raid0Device(_RaidBase):
         end = now
         for ext in self._extents(req):
             off = ext.stripe * self.chunk_size + ext.offset
-            sub = Request(req.op, off, ext.length, fua=req.fua)
+            sub = Request(req.op, off, ext.length, fua=req.fua,
+                          origin=req.origin)
             # No redundancy: a member lost after retries is fatal.
             end = max(end, self._member_submit(ext.chunk, sub, now))
         return end
@@ -148,7 +149,8 @@ class Raid1Device(_RaidBase):
         end = now
         for ext in self._extents(req):
             off = ext.stripe * self.chunk_size + ext.offset
-            sub = Request(req.op, off, ext.length, fua=req.fua)
+            sub = Request(req.op, off, ext.length, fua=req.fua,
+                          origin=req.origin)
             pair = (2 * ext.chunk, 2 * ext.chunk + 1)
             if req.op is Op.READ:
                 alive = [i for i in pair
@@ -231,7 +233,8 @@ class _ParityRaid(_RaidBase):
             member_idx = self._data_member(ext.stripe, ext.chunk)
             off = ext.stripe * self.chunk_size + ext.offset
             if self._alive(member_idx):
-                sub = Request(Op.READ, off, ext.length)
+                sub = Request(Op.READ, off, ext.length,
+                              origin=req.origin)
                 try:
                     end = max(end, self._member_submit(member_idx, sub, now))
                     continue
@@ -246,7 +249,7 @@ class _ParityRaid(_RaidBase):
                     t=now, device=self.name,
                     lba=(ext.stripe * self.data_members + ext.chunk)))
             sub = Request(Op.READ, ext.stripe * self.chunk_size,
-                          self.chunk_size)
+                          self.chunk_size, origin=req.origin)
             for i in range(len(self.members)):
                 if i == member_idx or not self._alive(i):
                     continue
@@ -301,7 +304,8 @@ class _ParityRaid(_RaidBase):
                                 if c not in full_chunks]
             for idx in read_targets:
                 if self._alive(idx):
-                    sub = Request(Op.READ, stripe_off, self.chunk_size)
+                    sub = Request(Op.READ, stripe_off, self.chunk_size,
+                                  origin=req.origin)
                     end = max(end, self._degradable_submit(idx, sub, now))
                     self.rmw_reads += 1
         write_start = end if not full_stripe else now
@@ -310,14 +314,14 @@ class _ParityRaid(_RaidBase):
             idx = self._data_member(stripe, ext.chunk)
             if self._alive(idx):
                 sub = Request(Op.WRITE, stripe_off + ext.offset, ext.length,
-                              fua=req.fua)
+                              fua=req.fua, origin=req.origin)
                 end = max(end, self._degradable_submit(idx, sub, write_start))
         if self._alive(parity_idx):
             # Parity is rewritten for the stripe span that changed.
             span = max(ext.offset + ext.length for ext in extents)
             base = min(ext.offset for ext in extents)
             sub = Request(Op.WRITE, stripe_off + base, span - base,
-                          fua=req.fua)
+                          fua=req.fua, origin=req.origin)
             end = max(end,
                       self._degradable_submit(parity_idx, sub, write_start))
             self.parity_writes += 1
@@ -347,7 +351,8 @@ class _ParityRaid(_RaidBase):
                 off = ext.stripe * self.chunk_size + ext.offset
                 try:
                     end = max(end, self._member_submit(
-                        idx, Request(Op.TRIM, off, ext.length), now))
+                        idx, Request(Op.TRIM, off, ext.length,
+                                     origin=req.origin), now))
                 except DeviceFailedError:
                     continue   # TRIM to a dying member loses nothing
         return end
@@ -367,9 +372,11 @@ class _ParityRaid(_RaidBase):
         for stripe in range(self.stripes):
             off = stripe * self.chunk_size
             for i, member in enumerate(self.members):
-                sub = (Request(Op.WRITE, off, self.chunk_size)
+                sub = (Request(Op.WRITE, off, self.chunk_size,
+                               origin=IoOrigin.REBUILD)
                        if i == member_index
-                       else Request(Op.READ, off, self.chunk_size))
+                       else Request(Op.READ, off, self.chunk_size,
+                                    origin=IoOrigin.REBUILD))
                 end = max(end, member.submit(sub, now))
             now = end
             if self.obs.enabled and (stripe + 1) % report_every == 0:

@@ -17,13 +17,16 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Optional
 
+from repro.block.lifecycle import Submission
+from repro.common.errors import ConfigError
 from repro.common.types import IoStats, LatencyStats, Request
 from repro.common.units import mb_per_sec
 
 # A workload source yields Requests forever (or until exhausted).
 RequestSource = Iterator[Request]
-# The system under test: (request, issue_time) -> completion_time.
-IssueFn = Callable[[Request, float], float]
+# The system under test: (request, issue_time) -> completion time, or a
+# Submission carrying the full issue/begin/done lifecycle.
+IssueFn = Callable[[Request, float], "float | Submission"]
 
 
 @dataclass(order=True)
@@ -38,16 +41,38 @@ class JobStream:
 
     ``think_time`` is inserted between a completion and the next issue
     (zero for the paper's saturation workloads).
+
+    ``iodepth`` is the stream's outstanding-I/O budget, matching FIO's
+    parameter of the same name: up to that many requests may be in
+    flight at once, and a new one is issued the moment a slot frees.
+    The default of 1 is the classic one-at-a-time closed loop.
     """
 
     def __init__(self, source: RequestSource, think_time: float = 0.0,
-                 name: str = ""):
+                 name: str = "", iodepth: int = 1):
+        if iodepth < 1:
+            raise ConfigError(f"iodepth must be >= 1, got {iodepth}")
         self.source = source
         self.think_time = think_time
         self.name = name
+        self.iodepth = iodepth
         self.stats = IoStats()
         self.latency = LatencyStats()
         self.exhausted = False
+        self._inflight: List[float] = []   # outstanding completion times
+
+    def slot_free_after(self, issue_time: float, done: float) -> float:
+        """Track an issued request; return when the next may be issued.
+
+        Under budget the stream can issue again immediately; at the
+        budget it waits for its earliest outstanding completion (plus
+        think time), which is what makes iodepth contended rather than
+        a free fan-out.
+        """
+        heapq.heappush(self._inflight, done)
+        if len(self._inflight) < self.iodepth:
+            return issue_time
+        return heapq.heappop(self._inflight) + self.think_time
 
     def next_request(self) -> Optional[Request]:
         try:
@@ -65,6 +90,9 @@ class RunResult:
     stats: IoStats
     latency: LatencyStats
     completed_ops: int
+    # Device-queue waiting time, populated when the issue function
+    # returns Submission objects (split-phase stacks); empty otherwise.
+    queue_delay: LatencyStats = field(default_factory=LatencyStats)
 
     @property
     def throughput_mb_s(self) -> float:
@@ -85,6 +113,7 @@ class RunResult:
             "throughput_mb_s": self.throughput_mb_s,
             "io": self.stats.as_dict(),
             "latency": self.latency.as_dict(),
+            "queue_delay": self.queue_delay.as_dict(),
         }
 
 
@@ -118,6 +147,7 @@ class Engine:
 
         totals = IoStats()
         latencies = LatencyStats()
+        queue_delays = LatencyStats()
         completed = 0
         end_time = 0.0
         issued = 0
@@ -130,7 +160,12 @@ class Engine:
             if request is None:
                 continue
             issue_time = state.next_time
-            done = self.issue(request, issue_time)
+            result = self.issue(request, issue_time)
+            if isinstance(result, Submission):
+                done = result.done_t
+                queue_delays.record(result.queue_delay)
+            else:
+                done = result
             if done < issue_time:
                 raise AssertionError(
                     f"completion {done} precedes issue {issue_time}")
@@ -141,11 +176,13 @@ class Engine:
             completed += 1
             issued += 1
             if self.sampler is not None:
-                self.sampler.observe(done, totals)
+                # Completions can land past the run window (the last
+                # in-flight requests); samples stay inside it.
+                self.sampler.observe(min(done, duration), totals)
             end_time = max(end_time, min(done, duration))
             if max_requests and issued >= max_requests:
                 break
-            state.next_time = done + state.stream.think_time
+            state.next_time = state.stream.slot_free_after(issue_time, done)
             heapq.heappush(heap, state)
 
         elapsed = duration if duration != float("inf") else end_time
@@ -155,16 +192,18 @@ class Engine:
         if max_requests and issued >= max_requests:
             elapsed = end_time
         return RunResult(elapsed=elapsed, stats=totals, latency=latencies,
-                         completed_ops=completed)
+                         completed_ops=completed, queue_delay=queue_delays)
 
 
 def run_streams(issue: IssueFn, sources: List[RequestSource],
                 duration: float = float("inf"),
                 think_time: float = 0.0,
                 max_requests: int = 0,
-                sampler=None) -> RunResult:
+                sampler=None,
+                iodepth: int = 1) -> RunResult:
     """Convenience wrapper: one JobStream per source, run them all."""
     engine = Engine(issue, sampler=sampler)
     for i, source in enumerate(sources):
-        engine.add_stream(JobStream(source, think_time, name=f"job{i}"))
+        engine.add_stream(JobStream(source, think_time, name=f"job{i}",
+                                    iodepth=iodepth))
     return engine.run(duration=duration, max_requests=max_requests)

@@ -16,7 +16,7 @@ from __future__ import annotations
 import heapq
 from typing import List, Tuple
 
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, TimingError
 
 
 class Timeline:
@@ -37,7 +37,7 @@ class Timeline:
         delay.
         """
         if duration < 0:
-            raise ValueError(f"negative duration {duration}")
+            raise TimingError(f"negative duration {duration}")
         earliest = heapq.heappop(self._free)
         begin = max(start, earliest)
         end = begin + duration

@@ -24,19 +24,21 @@ from __future__ import annotations
 from typing import Set
 
 from repro.block.device import BlockDevice
+from repro.block.lifecycle import QueuedDevice
 from repro.common.errors import DeviceFailedError
-from repro.common.types import Op, Request
+from repro.common.types import IoOrigin, Op, Request
 from repro.obs.events import FlushBarrier
 from repro.sim.timeline import Link, Timeline
 from repro.ssd.ftl import FtlOpResult, PageMappedFtl
 from repro.ssd.spec import SsdSpec
 
 
-class SSDDevice(BlockDevice):
-    """One simulated SSD."""
+class SSDDevice(QueuedDevice, BlockDevice):
+    """One simulated SSD with a bounded host command queue."""
 
     def __init__(self, spec: SsdSpec, name: str = ""):
         super().__init__(spec.capacity, name or spec.name)
+        self.init_queue(spec.queue_depth)
         self.spec = spec
         self.ftl = PageMappedFtl(
             logical_pages=spec.logical_pages,
@@ -158,7 +160,13 @@ class SSDDevice(BlockDevice):
         npages = self._npages(req)
         self.ftl.read(self._page_of(req.offset), npages)
         read_time = npages * self.spec.page_size / self.spec.nand_read_bw
-        nand_begin, nand_end = self.nand_reads.acquire(now, read_time)
+        # Only host (foreground) reads ride the read-priority pipeline;
+        # internal moves — GC copies, destage reads, rebuild scans —
+        # interleave with the program backlog so they never starve the
+        # latency-sensitive path.
+        pipeline = (self.nand_reads if req.origin is IoOrigin.FOREGROUND
+                    else self.nand)
+        nand_begin, nand_end = pipeline.acquire(now, read_time)
         # The outbound transfer streams behind the NAND reads: it starts
         # once the first page is in the buffer and cannot finish before
         # the last page has been read.

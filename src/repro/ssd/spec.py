@@ -36,10 +36,13 @@ class SsdSpec:
     buffer_size: int              # volatile DRAM write buffer
     timing: NandTiming = MLC_TIMING
     page_size: int = 4 * KIB
+    queue_depth: int = 32         # host-visible command slots (NCQ = 32)
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
             raise ConfigError("capacity must be positive")
+        if self.queue_depth < 0:
+            raise ConfigError("queue_depth must be >= 0 (0 = unbounded)")
         if not 0.0 < self.spare_factor < 1.0:
             raise ConfigError(
                 f"spare_factor must be in (0,1), got {self.spare_factor}")
@@ -139,4 +142,5 @@ NVME_MLC_400 = SsdSpec(
     flush_latency=1.0 * MSEC,
     buffer_size=512 * MIB,
     timing=NVME_MLC_TIMING,
+    queue_depth=256,           # NVMe submission queues run far deeper
 )

@@ -74,13 +74,19 @@ def replay_group(target: CacheTarget, group: str, scale: float = 1.0,
                  duration: float = 60.0, warmup: float = 0.0,
                  seed: int = 0, threads_per_trace: int = 4,
                  max_requests: int = 0,
-                 footprint_cap_gb: float = 0.0) -> ReplayResult:
+                 footprint_cap_gb: float = 0.0,
+                 think_time: float = 0.0) -> ReplayResult:
     """Replay one trace group against a cache target.
 
     ``scale`` shrinks trace footprints to match scaled-down devices.
     ``duration`` is the measured window in simulated seconds; if
     ``warmup`` is nonzero the first ``warmup`` simulated seconds run
     unmeasured so the cache reaches steady state first.
+
+    ``think_time`` inserts a per-thread pause between a completion and
+    the next issue.  Zero reproduces the paper's saturated replay; a
+    nonzero value paces the offered load below saturation, which is how
+    latency comparisons "at equal throughput" are run.
     """
     streams, span = build_group(group, scale=scale, seed=seed,
                                 threads_per_trace=threads_per_trace,
@@ -118,6 +124,7 @@ def replay_group(target: CacheTarget, group: str, scale: float = 1.0,
     if sampler is not None:
         sampler.bind_target(target)
     run = run_streams(issue, streams, duration=warmup + duration,
+                      think_time=think_time,
                       max_requests=max_requests, sampler=sampler)
     if window["cstats"] is None:   # run too short to leave warm-up
         window["cstats"] = target.cstats.copy()

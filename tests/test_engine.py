@@ -2,8 +2,11 @@
 
 import pytest
 
+from repro.block.lifecycle import Submission
+from repro.common.errors import ConfigError
 from repro.common.types import read, write
 from repro.sim.engine import Engine, JobStream, run_streams
+from repro.sim.timeline import Timeline
 
 
 def fixed_latency_issue(latency):
@@ -85,3 +88,83 @@ def test_streams_interleave_in_time_order():
 
     run_streams(issue, [repeat(write(0, 4096), 5) for _ in range(3)])
     assert seen == sorted(seen)
+
+
+# ---------------------------------------------------------------------------
+# iodepth (outstanding-I/O budget per stream)
+# ---------------------------------------------------------------------------
+def test_iodepth_scales_on_parallel_device():
+    # A device with unbounded parallelism (fixed latency) lets iodepth=4
+    # complete ~4x what one-at-a-time does.
+    one = run_streams(fixed_latency_issue(0.1), [repeat(write(0, 4096))],
+                      duration=10.0)
+    four = run_streams(fixed_latency_issue(0.1), [repeat(write(0, 4096))],
+                       duration=10.0, iodepth=4)
+    assert four.completed_ops == pytest.approx(4 * one.completed_ops,
+                                               rel=0.05)
+
+
+def test_iodepth_contended_on_serial_device():
+    # A serialized device caps throughput at its service rate no matter
+    # the depth: extra outstanding requests just wait, so latency grows
+    # by roughly the depth while completions stay flat.
+    def serial_issue():
+        tl = Timeline(1)
+
+        def issue(req, now):
+            _, end = tl.acquire(now, 0.1)
+            return end
+        return issue
+
+    one = run_streams(serial_issue(), [repeat(write(0, 4096))],
+                      duration=10.0)
+    deep = run_streams(serial_issue(), [repeat(write(0, 4096))],
+                       duration=10.0, iodepth=4)
+    assert deep.completed_ops == pytest.approx(one.completed_ops, rel=0.05)
+    assert deep.latency.mean == pytest.approx(4 * one.latency.mean, rel=0.1)
+
+
+def test_iodepth_must_be_positive():
+    with pytest.raises(ConfigError):
+        JobStream(repeat(write(0, 4096)), iodepth=0)
+
+
+# ---------------------------------------------------------------------------
+# Submission-aware issue functions
+# ---------------------------------------------------------------------------
+def test_submission_result_records_queue_delay():
+    def issue(req, now):
+        return Submission(req=req, device="dev", issue_t=now,
+                          begin_t=now + 0.05, done_t=now + 0.15)
+
+    result = run_streams(issue, [repeat(write(0, 4096), count=4)])
+    assert result.queue_delay.mean == pytest.approx(0.05)
+    assert result.latency.mean == pytest.approx(0.15)
+    assert result.as_dict()["queue_delay"]["mean"] == pytest.approx(0.05)
+
+
+def test_plain_float_issue_leaves_queue_delay_empty():
+    result = run_streams(fixed_latency_issue(0.1),
+                         [repeat(write(0, 4096), count=3)])
+    assert result.queue_delay.count == 0
+
+
+# ---------------------------------------------------------------------------
+# sampler clamping (samples stay inside the run window)
+# ---------------------------------------------------------------------------
+class _CaptureSampler:
+    def __init__(self):
+        self.times = []
+
+    def observe(self, now, stats):
+        self.times.append(now)
+
+
+def test_sampler_never_observes_past_duration():
+    sampler = _CaptureSampler()
+    # 0.3s latency against a 1.0s window: the request issued at 0.9
+    # completes at 1.2, beyond the window; its sample must be clamped.
+    run_streams(fixed_latency_issue(0.3), [repeat(write(0, 4096))],
+                duration=1.0, sampler=sampler)
+    assert sampler.times
+    assert max(sampler.times) <= 1.0

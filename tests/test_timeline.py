@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, ReproError, TimingError
 from repro.sim.timeline import Link, Timeline
 
 
@@ -44,7 +44,16 @@ def test_drain_time():
 
 
 def test_negative_duration_rejected():
-    with pytest.raises(ValueError):
+    with pytest.raises(TimingError):
+        Timeline(1).acquire(0.0, -1.0)
+
+
+def test_timing_error_is_repro_and_value_error():
+    # In the repo-wide hierarchy so blanket ReproError handlers see it,
+    # and a ValueError so pre-hierarchy callers keep working.
+    assert issubclass(TimingError, ReproError)
+    assert issubclass(TimingError, ValueError)
+    with pytest.raises(ReproError):
         Timeline(1).acquire(0.0, -1.0)
 
 
