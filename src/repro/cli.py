@@ -9,6 +9,7 @@ report [out.md]          run everything, write the experiments report
 replay <group>           replay a trace group against a chosen target
 export-trace <name> ...  materialise a synthetic trace as MSR CSV
 faults                   seeded crash-point torture harness
+rebuild                  hot-spare rebuild sweep + scrub demo
 
 Any :class:`~repro.common.errors.ReproError` escaping a command is
 reported as a one-line message and exit status 2.
@@ -264,6 +265,25 @@ def cmd_faults(args) -> int:
     return 1 if violations else 0
 
 
+def cmd_rebuild(args) -> int:
+    from repro.harness import exp_rebuild
+    es = _scale_from(args)
+    if args.format == "json":
+        from repro.obs import ObsRecorder, to_json, use
+        recorder = ObsRecorder(sample_interval=SAMPLE_INTERVAL)
+        with use(recorder):
+            result = exp_rebuild.run(es)
+        print(to_json({
+            "id": "rebuild",
+            "results": [result.as_dict()],
+            "telemetry": recorder.telemetry(),
+        }))
+    else:
+        result = exp_rebuild.run(es)
+        print(result.render())
+    return 1 if exp_rebuild.violations(result) else 0
+
+
 def cmd_export_trace(args) -> int:
     from repro.workloads.trace_io import export_synthetic
     with open(args.output, "w", encoding="utf-8") as sink:
@@ -324,6 +344,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="table (default) or json with telemetry")
     _add_scale_flags(faults)
 
+    rebuild = sub.add_parser(
+        "rebuild", help="hot-spare rebuild sweep + scrub demo")
+    rebuild.add_argument("--format", choices=("table", "json"),
+                         default="table",
+                         help="table (default) or json with telemetry")
+    _add_scale_flags(rebuild)
+
     export = sub.add_parser("export-trace",
                             help="export a synthetic trace as MSR CSV")
     export.add_argument("trace")
@@ -345,6 +372,7 @@ def main(argv=None) -> int:
         "replay": cmd_replay,
         "export-trace": cmd_export_trace,
         "faults": cmd_faults,
+        "rebuild": cmd_rebuild,
     }
     try:
         return handlers[args.command](args)

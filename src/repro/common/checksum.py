@@ -27,6 +27,16 @@ def block_checksum(lba: int, version: int) -> int:
     return crc32(lba.to_bytes(8, "little") + version.to_bytes(8, "little"))
 
 
+def checksum_matches(lba: int, version: int, stored: int) -> bool:
+    """Verify a stored block checksum against the block's identity.
+
+    The scrubber's read-side check: recompute the CRC from the mapping's
+    ``(lba, version)`` and compare with the checksum recorded at segment
+    seal time.  On hardware this is the payload CRC comparison.
+    """
+    return block_checksum(lba, version) == stored
+
+
 def metadata_checksum(fields: tuple) -> int:
     """Checksum over an iterable of ints describing a metadata block."""
     acc = 0

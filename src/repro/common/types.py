@@ -37,6 +37,7 @@ class IoOrigin(enum.Enum):
     GC = "gc"
     DESTAGE = "destage"
     REBUILD = "rebuild"
+    SCRUB = "scrub"
 
 
 @dataclass

@@ -78,7 +78,18 @@ class SrcConfig:
     retry_timeout: float = 50e-3        # per-request retry budget (s)
     failslow_p99: float = 0.0           # rolling-p99 limit (s); 0 disables
     failslow_window: int = 256          # samples per detection window
+    failslow_flush_p99: float = 0.0     # FLUSH-latency p99 limit (s);
+                                        # 0 disables (see docs/fault_model.md
+                                        # on why FLUSH gets its own window)
     bypass_on_failure: bool = True      # origin-bypass when array is lost
+
+    # Online repair (repro.repair; docs/fault_model.md).
+    hot_spares: int = 0                 # spare SSDs attachable on failure
+    rebuild_rate: float = 64 * MIB      # rebuild bytes/s budget; 0 = unlimited
+    rebuild_fg_p99: float = 0.0         # pause rebuild while the foreground
+                                        # rolling p99 exceeds this (s); 0 off
+    scrub_interval: float = 0.0         # seconds between scrub passes; 0 off
+    scrub_rate: float = 0.0             # scrub bytes/s budget; 0 = unlimited
 
     def __post_init__(self) -> None:
         if self.n_ssds < 1:
@@ -105,6 +116,16 @@ class SrcConfig:
             raise ConfigError("failslow_p99 must be >= 0 (0 disables)")
         if self.failslow_window < 2:
             raise ConfigError("failslow_window must be >= 2")
+        if self.failslow_flush_p99 < 0:
+            raise ConfigError("failslow_flush_p99 must be >= 0 (0 disables)")
+        if self.hot_spares < 0:
+            raise ConfigError("hot_spares must be >= 0")
+        if self.rebuild_rate < 0 or self.scrub_rate < 0:
+            raise ConfigError("rebuild_rate and scrub_rate must be >= 0 "
+                              "(0 = unlimited)")
+        if self.rebuild_fg_p99 < 0 or self.scrub_interval < 0:
+            raise ConfigError("rebuild_fg_p99 and scrub_interval must be "
+                              ">= 0 (0 disables)")
 
     # Geometry (paper §4.1, in the M = 4, S = 128 GB context) ----------
     @property

@@ -43,6 +43,7 @@ from repro.faults.policy import RetryPolicy, submit_with_retry
 from repro.obs.events import (BackpressureStall, BypassEntered, DegradedRead,
                               Destage, DeviceLimping, FlushBarrier, GcEnd,
                               GcStart, RebuildProgress, SegmentSealed)
+from repro.repair.controller import RepairController
 
 RAM_LATENCY = 2e-6  # buffer hit / insert latency
 
@@ -75,6 +76,19 @@ class SrcStats:
     bypass_reads: int = 0
     bypass_writes: int = 0
     bypass_lost_dirty: int = 0
+    # Online repair (repro.repair).
+    spares_attached: int = 0
+    rebuilds_started: int = 0
+    rebuilds_completed: int = 0
+    rebuild_units: int = 0
+    rebuild_dropped_blocks: int = 0
+    rebuild_throttle_defers: int = 0
+    mttr_s: float = 0.0              # summed over completed rebuilds
+    degraded_window_s: float = 0.0   # total slot-seconds spent unhealthy
+    scrub_passes: int = 0
+    scrub_checked_blocks: int = 0
+    scrub_repairs: int = 0
+    scrub_unrepairable: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -113,7 +127,8 @@ class SrcCache(CacheTarget):
     def __init__(self, ssds: List[BlockDevice], origin: BlockDevice,
                  config: SrcConfig = SrcConfig(),
                  metadata: Optional[MetadataStore] = None,
-                 create_time: float = 0.0):
+                 create_time: float = 0.0,
+                 spares: Optional[List[BlockDevice]] = None):
         if len(ssds) != config.n_ssds:
             raise ConfigError(
                 f"config expects {config.n_ssds} SSDs, got {len(ssds)}")
@@ -158,6 +173,17 @@ class SrcCache(CacheTarget):
                              window=config.failslow_window,
                              min_samples=min(64, config.failslow_window))
             if config.failslow_p99 > 0 else None)
+        # FLUSH latencies get their own detector: flushes are rare and
+        # orders of magnitude slower than reads/writes, so mixing them
+        # into the per-op window would drown both signals
+        # (docs/fault_model.md).
+        self.flush_failslow: Optional[FailSlowDetector] = (
+            FailSlowDetector(config.failslow_flush_p99,
+                             window=32, min_samples=8)
+            if config.failslow_flush_p99 > 0 else None)
+        # Online repair: health state machine, hot spares, rebuild and
+        # scrub scheduling (repro.repair; docs/fault_model.md).
+        self.repair = RepairController(self, spares)
 
         if self.metadata.superblock is None:
             self.metadata.format(Superblock(
@@ -211,6 +237,11 @@ class SrcCache(CacheTarget):
     def _alive(self, ssd_idx: int) -> bool:
         return not getattr(self.ssds[ssd_idx], "failed", False)
 
+    @property
+    def spares(self) -> List[BlockDevice]:
+        """Unattached hot spares (walked by the observability attach)."""
+        return self.repair.spares
+
     # ==================================================================
     # resilient SSD submission (retry/backoff, fail-slow, bypass)
     # ==================================================================
@@ -249,6 +280,17 @@ class SrcCache(CacheTarget):
                     p99=self.failslow.p99(idx) or 0.0,
                     threshold=self.config.failslow_p99))
             self._convert_fail_stop(idx, end)
+        elif (self.flush_failslow is not None and req.op is Op.FLUSH
+                and self.flush_failslow.observe(idx, end - now)):
+            # A limping drive often shows in FLUSH first: the drain of
+            # a backed-up internal buffer magnifies a modest slowdown.
+            self.srcstats.limping_detected += 1
+            if self.obs.enabled:
+                self.obs.emit(DeviceLimping(
+                    t=end, device=ssd.name,
+                    p99=self.flush_failslow.p99(idx) or 0.0,
+                    threshold=self.config.failslow_flush_p99))
+            self._convert_fail_stop(idx, end)
         return end
 
     def _convert_fail_stop(self, idx: int, now: float) -> None:
@@ -260,17 +302,29 @@ class SrcCache(CacheTarget):
             else:
                 ssd.failed = True
             self.srcstats.failstop_conversions += 1
+        # Repair before bypass: a hot spare may take the slot here, in
+        # which case the bypass check below no longer counts this drive
+        # against the tolerance.  Notified unconditionally — a drive
+        # that died on its own (fail-stop injection) reports ``failed``
+        # before we ever mark it, and needs the spare just as much.
+        self.repair.on_member_failed(idx, now)
         self._maybe_bypass(now)
 
     def _maybe_bypass(self, now: float) -> None:
-        """Enter origin-bypass when the array can no longer serve."""
+        """Enter origin-bypass when the array can no longer serve.
+
+        Bypass is the last resort: a slot a hot spare has taken counts
+        only as REBUILDING (still one missing data copy per stripe
+        until its job completes), so with one spare attached a parity
+        array keeps serving instead of declaring the cache lost.
+        """
         if self.bypass or not self.config.bypass_on_failure:
             return
-        dead = sum(1 for i in range(len(self.ssds)) if not self._alive(i))
+        missing = self.repair.missing_members()
         tolerated = 1 if self.config.raid_level in (4, 5) else 0
-        if dead > tolerated:
+        if missing > tolerated:
             self._enter_bypass(
-                now, f"{dead} of {len(self.ssds)} SSDs failed")
+                now, f"{missing} of {len(self.ssds)} members unavailable")
 
     def _enter_bypass(self, now: float, reason: str) -> None:
         """Degrade to pass-through: all I/O goes straight to the origin.
@@ -284,6 +338,7 @@ class SrcCache(CacheTarget):
         self.bypass = True
         lost = self.mapping.dirty_count + len(self.dirty_buf)
         self.srcstats.bypass_lost_dirty += lost
+        self.repair.enter_bypass(now)
         if self.obs.enabled:
             self.obs.emit(BypassEntered(t=now, device=self.name,
                                         reason=reason, lost_dirty=lost))
@@ -293,12 +348,16 @@ class SrcCache(CacheTarget):
         SRC into origin-bypass and the request is re-served from the
         origin instead of surfacing the failure to the application."""
         try:
-            return super()._service(req, now)
+            end = super()._service(req, now)
         except (DeviceFailedError, RaidDegradedError) as exc:
             if not self.config.bypass_on_failure:
                 raise
             self._enter_bypass(now, f"{type(exc).__name__}: {exc}")
             return super()._service(req, now)
+        if req.origin is IoOrigin.FOREGROUND:
+            # Rebuild back-off watches the foreground's rolling p99.
+            self.repair.observe_foreground(end - now)
+        return end
 
     # ==================================================================
     # application write path
@@ -400,6 +459,12 @@ class SrcCache(CacheTarget):
         ssd = self.ssds[loc.ssd]
         if not self._alive(loc.ssd):
             return self._degraded_read(block, entry, now)
+        if not self.repair.unit_ready(loc.ssd, loc.sg, loc.segment):
+            # A rebuilding spare holds the slot but this unit is not
+            # reconstructed yet; serve degraded and pull the unit to
+            # the front of the rebuild queue.
+            self.repair.promote(loc.ssd, loc.sg, loc.segment)
+            return self._degraded_read(block, entry, now)
         end = self._ssd_submit(loc.ssd,
                                Request(Op.READ, loc.offset, PAGE_SIZE), now)
         if end is None:   # the home drive just died under this read
@@ -431,6 +496,8 @@ class SrcCache(CacheTarget):
         for idx in range(self.config.n_ssds):
             if idx == skip_ssd or not self._alive(idx):
                 continue
+            if not self.repair.unit_ready(idx, loc.sg, loc.segment):
+                continue   # rebuilding spare: its copy isn't there yet
             offset = self.layout.unit_offset(loc.sg, loc.segment) + row_offset
             done = self._ssd_submit(idx,
                                     Request(Op.READ, offset, PAGE_SIZE), now)
@@ -438,13 +505,34 @@ class SrcCache(CacheTarget):
                 end = max(end, done)
         return end
 
+    def _can_reconstruct(self, entry: CacheEntry) -> bool:
+        """Whether parity reconstruction has all its source copies.
+
+        Requires the segment to carry parity AND every member of the
+        stripe other than the entry's home to be alive with its unit
+        readable (a second failure or a still-rebuilding spare among
+        the sources makes the stripe unreconstructable).
+        """
+        if not self._segment_has_parity(entry):
+            return False
+        loc = entry.location
+        summary = self.metadata.read_summary(loc.sg, loc.segment)
+        with_parity = summary.with_parity if summary is not None else True
+        involved = list(self.layout.data_ssds(loc.sg, loc.segment,
+                                              with_parity))
+        if with_parity:
+            involved.append(self.layout.parity_ssd(loc.sg, loc.segment))
+        return all(self._alive(idx)
+                   and self.repair.unit_ready(idx, loc.sg, loc.segment)
+                   for idx in involved if idx != loc.ssd)
+
     def _degraded_read(self, block: int, entry: CacheEntry,
                        now: float) -> float:
         """Serve a read whose home SSD has failed."""
         self.srcstats.degraded_reads += 1
         if self.obs.enabled:
             self.obs.emit(DegradedRead(t=now, device=self.name, lba=block))
-        if self._segment_has_parity(entry):
+        if self._can_reconstruct(entry):
             self.srcstats.parity_reconstructions += 1
             end = self._stripe_read(entry, now, skip_ssd=entry.location.ssd)
             # Reconstructed data is re-cached through the proper buffer
@@ -466,7 +554,7 @@ class SrcCache(CacheTarget):
         """Checksum mismatch on read: recover via parity or re-fetch."""
         loc = entry.location
         ssd = self.ssds[loc.ssd]
-        if self._segment_has_parity(entry):
+        if self._can_reconstruct(entry):
             self.srcstats.parity_reconstructions += 1
             end = self._stripe_read(entry, now, skip_ssd=loc.ssd)
         else:
@@ -767,6 +855,7 @@ class SrcCache(CacheTarget):
         # Everything left in the SG is dead now.
         self.mapping.drop_sg(victim)
         self.metadata.drop_group(victim)
+        self.repair.on_group_dropped(victim, end)
         end = max(end, self._trim_group(victim, end))
         group = self.groups[victim]
         group.state = _GroupState.FREE
@@ -882,6 +971,8 @@ class SrcCache(CacheTarget):
             loc = entry.location
             if not self._alive(loc.ssd):
                 continue
+            if not self.repair.unit_ready(loc.ssd, loc.sg, loc.segment):
+                continue   # un-rebuilt spare unit: nothing there to read
             spans.setdefault(loc.ssd, []).append(loc.offset)
         end = now
         for ssd_idx, offsets in spans.items():
@@ -920,6 +1011,10 @@ class SrcCache(CacheTarget):
         """TWAIT expiry: persist a partial dirty segment."""
         if self.bypass:
             return
+        # Background repair advances from foreground entry points: its
+        # I/O is issued here, at simulated `now`, and competes with the
+        # request being served — the contention the throttle bounds.
+        self.repair.pump(now)
         if (not self.dirty_buf.empty
                 and now - self._last_dirty_write > self.config.t_wait):
             self.srcstats.timeout_flushes += 1

@@ -4,7 +4,9 @@ Each case builds a tiny SRC stack with every device behind a
 :class:`~repro.faults.injector.FaultInjector`, replays a seeded mixed
 workload, and cuts power at a chosen crash point — on an SSD's Nth
 segment write (mid-segment-write / mid-GC), on the origin's Mth write
-(mid-destage), or at an absolute simulated time.  The injectors are
+(mid-destage), at an absolute simulated time, on a hot spare's Nth
+write (mid-rebuild, after a member fail-stop), or shortly after latent
+corruption is seeded (mid-scrub-repair).  The injectors are
 then disarmed and :func:`repro.core.recovery.recover` rebuilds the
 cache from the surviving metadata, after which three invariants are
 asserted:
@@ -33,7 +35,7 @@ crash protocol proves nothing.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Tuple
 
 from repro.common.errors import PowerCutError
@@ -77,7 +79,13 @@ TORTURE_CONFIG = SrcConfig(
     t_wait=5e-3,
 )
 
-MODES = ("ssd-write", "origin-write", "time")
+MODES = ("ssd-write", "origin-write", "time", "rebuild-cut", "scrub-cut")
+# Modes exercising the repro.repair subsystem run with a hot spare, a
+# deliberately slow rebuild (so the crash window is wide) and a short
+# scrub period (so idle pumps reach a scrub pass within the run).
+REPAIR_MODES = ("rebuild-cut", "scrub-cut")
+TORTURE_REPAIR_CONFIG = replace(TORTURE_CONFIG, hot_spares=1,
+                                rebuild_rate=2 * MIB, scrub_interval=0.02)
 OPS_PER_CASE = 1600
 LBA_SPAN = 1024          # pages of origin address space the workload hits
 
@@ -99,10 +107,14 @@ class CaseResult:
 
 def _build_stack(break_seal: bool = False,
                  config: SrcConfig = TORTURE_CONFIG) -> Tuple[
-        SrcCache, List[FaultInjector], FaultInjector, MetadataStore]:
+        SrcCache, List[FaultInjector], List[FaultInjector],
+        FaultInjector, MetadataStore]:
     ssds = [FaultInjector(SSDDevice(TORTURE_SSD, name=f"t{i}"),
                           name=f"fault{i}")
             for i in range(config.n_ssds)]
+    spares = [FaultInjector(SSDDevice(TORTURE_SSD, name=f"spare{i}"),
+                            name=f"fault-spare{i}")
+              for i in range(config.hot_spares)]
     origin = FaultInjector(
         PrimaryStorage(n_disks=2, disk_spec=DiskSpec(capacity=2 * GIB)),
         name="fault-origin", record_writes=True)
@@ -112,12 +124,14 @@ def _build_stack(break_seal: bool = False,
         # written, so every segment stays torn and recovery must throw
         # away data the harness knows was acknowledged.
         metadata.seal_summary = lambda sg, segment: None
-    cache = SrcCache(ssds, origin, config, metadata=metadata)
-    return obs_attach(cache), ssds, origin, metadata
+    cache = SrcCache(ssds, origin, config, metadata=metadata,
+                     spares=spares or None)
+    return obs_attach(cache), ssds, spares, origin, metadata
 
 
 def _arm(case: CaseResult, ssds: List[FaultInjector],
-         origin: FaultInjector, rng: random.Random) -> None:
+         spares: List[FaultInjector], origin: FaultInjector,
+         rng: random.Random) -> None:
     """Install the crash point for this case."""
     step = case.point // len(MODES) + 1
     if case.mode == "ssd-write":
@@ -130,10 +144,50 @@ def _arm(case: CaseResult, ssds: List[FaultInjector],
         # Origin writes only happen on destage.
         origin.plan = FaultPlan(seed=case.seed,
                                 power_cut_after_writes=step)
+    elif case.mode == "rebuild-cut":
+        # Fail one member early so the hot spare is attached, then cut
+        # power on the spare's Nth write — mid-rebuild, since every
+        # write the spare sees is either reconstruction or a segment
+        # share landing on a still-rebuilding slot.
+        victim = rng.randrange(len(ssds))
+        ssds[victim].plan = FaultPlan(seed=case.seed).fail_stop(
+            at=0.002 + 0.010 * rng.random())
+        spares[0].plan = FaultPlan(seed=case.seed,
+                                   power_cut_after_writes=step)
+    elif case.mode == "scrub-cut":
+        # Armed mid-run by _seed_scrub_corruption: corruption first,
+        # then a write-count cut close behind the scrubber's repair.
+        pass
     else:
         at = rng.uniform(0.0, 0.15) * step / max(1, case.point + 1) + \
             rng.uniform(0.0, 0.05)
         ssds[0].plan = FaultPlan(seed=case.seed, power_cut_at=at)
+
+
+def _seed_scrub_corruption(cache: SrcCache, rng: random.Random,
+                           seed: int, step: int) -> None:
+    """Corrupt a few sealed mapped blocks, then arm a near-term cut.
+
+    The corruption sits latent until the periodic scrub reaches it;
+    the write-count cut on the corrupted member lands at or shortly
+    after the scrubber's repair write.
+    """
+    live = []
+    for summary in cache.metadata.all_summaries():
+        for lba in summary.lbas:
+            entry = cache.mapping.lookup(lba)
+            if (entry is not None and entry.location.sg == summary.sg
+                    and entry.location.segment == summary.segment):
+                live.append(entry)
+    victim_idx = rng.randrange(len(cache.ssds))
+    for entry in rng.sample(live, min(4, len(live))):
+        device = cache.ssds[entry.location.ssd]
+        device.inject_corruption(entry.location.offset, PAGE_SIZE)
+        victim_idx = entry.location.ssd
+    victim = cache.ssds[victim_idx]
+    victim.plan = FaultPlan(
+        seed=seed,
+        power_cut_after_writes=victim.writes_seen + step)
 
 
 def run_case(seed: int, point: int, break_seal: bool = False,
@@ -141,10 +195,16 @@ def run_case(seed: int, point: int, break_seal: bool = False,
     """Run one seeded workload to one crash point and check recovery."""
     case = CaseResult(seed=seed, point=point, mode=MODES[point % len(MODES)],
                       crashed=False, ops_before_crash=0, torn_at_crash=0)
+    if case.mode in REPAIR_MODES and config.hot_spares == 0:
+        # The repair crash modes need a spare to cut and a scrubber to
+        # interrupt, whatever config the caller brought.
+        config = replace(config, hot_spares=1,
+                         rebuild_rate=TORTURE_REPAIR_CONFIG.rebuild_rate,
+                         scrub_interval=TORTURE_REPAIR_CONFIG.scrub_interval)
     rng = random.Random((seed << 20) ^ point)
-    cache, ssds, origin, metadata = _build_stack(break_seal=break_seal,
-                                                 config=config)
-    _arm(case, ssds, origin, rng)
+    cache, ssds, spares, origin, metadata = _build_stack(
+        break_seal=break_seal, config=config)
+    _arm(case, ssds, spares, origin, rng)
 
     buffered: set = set()     # acked into RAM only — may be lost
     sealed: set = set()       # left the dirty buffer under a completed op
@@ -152,6 +212,9 @@ def run_case(seed: int, point: int, break_seal: bool = False,
     try:
         for op_index in range(OPS_PER_CASE):
             case.ops_before_crash = op_index
+            if case.mode == "scrub-cut" and op_index == OPS_PER_CASE // 3:
+                _seed_scrub_corruption(cache, rng, seed,
+                                       case.point // len(MODES) + 1)
             lba = rng.randrange(LBA_SPAN)
             draw = rng.random()
             if draw < 0.70:
@@ -179,10 +242,12 @@ def run_case(seed: int, point: int, break_seal: bool = False,
     torn_before = [(s.sg, s.segment) for s in metadata.all_summaries()
                    if not s.consistent]
     case.torn_at_crash = len(torn_before)
-    for injector in ssds + [origin]:
+    for injector in ssds + spares + [origin]:
         injector.disarm()
 
-    recovered, report = recover(ssds, origin, config, metadata)
+    # Recover over the post-swap array: a slot whose member failed and
+    # was taken by a hot spare mid-run holds the spare now.
+    recovered, report = recover(list(cache.ssds), origin, config, metadata)
     case.segments_recovered = report.segments_recovered
     case.blocks_recovered = report.blocks_recovered
 
@@ -242,7 +307,8 @@ def run(es: ExperimentScale = DEFAULT_SCALE, seeds: int = 5,
     result = ExperimentResult(
         experiment="Faults",
         title=f"Crash-point torture: {seeds} seeds x {points} points "
-              "(power cut mid-segment-write / mid-GC / mid-destage)",
+              "(power cut mid-segment-write / mid-GC / mid-destage / "
+              "mid-rebuild / mid-scrub-repair)",
         columns=["Mode", "Cases", "Crashed", "Torn found",
                  "Blocks recovered", "Violations"],
     )

@@ -170,10 +170,95 @@ class BypassEntered(Event):
     lost_dirty: int
 
 
+@dataclass(frozen=True)
+class HealthTransition(Event):
+    """One member slot moved between device-health states.
+
+    ``old``/``new`` are :class:`~repro.repair.health.DeviceHealth`
+    values (their string forms, so the event stays a plain record).
+    """
+
+    member: int
+    old: str
+    new: str
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class RebuildStarted(Event):
+    """A hot spare was attached and background rebuild began."""
+
+    member: int
+    spare: str
+    units: int
+
+
+@dataclass(frozen=True)
+class RebuildCompleted(Event):
+    """Background rebuild restored full redundancy for one member.
+
+    ``elapsed`` is the failure-to-healthy interval (MTTR) in simulated
+    seconds.
+    """
+
+    member: int
+    units: int
+    elapsed: float
+
+
+@dataclass(frozen=True)
+class ScrubProgress(Event):
+    """The background scrubber advanced through the sealed segments."""
+
+    checked: int
+    total: int
+    repaired: int
+
+
+@dataclass(frozen=True)
+class CorruptionDetected(Event):
+    """A checksum mismatch was found on a cached block.
+
+    Emitted by the scrubber (proactive) — the foreground read path
+    repairs inline without a detection event, as it always has.
+    """
+
+    lba: int
+    member: int
+
+
+@dataclass(frozen=True)
+class CorruptionRepaired(Event):
+    """A corrupted cached block was rewritten from a good copy.
+
+    ``source`` names where the data came back from: ``parity``
+    (stripe reconstruction) or ``origin`` (clean-data re-fetch).
+    """
+
+    lba: int
+    member: int
+    source: str
+
+
+@dataclass(frozen=True)
+class ScrubUnrepairable(Event):
+    """Scrub found corruption with no surviving redundancy.
+
+    A dirty block in a non-parity segment (or a double fault): the data
+    is lost and the mapping entry is dropped instead of serving a
+    corrupt read later.
+    """
+
+    lba: int
+    member: int
+
+
 EVENT_TYPES: List[Type[Event]] = [
     GcStart, GcEnd, Erase, FlushBarrier, SegmentSealed, Destage,
     DegradedRead, RebuildProgress, BackpressureStall, FaultInjected,
     RetryAttempt, TimeoutExpired, DeviceLimping, BypassEntered,
+    HealthTransition, RebuildStarted, RebuildCompleted, ScrubProgress,
+    CorruptionDetected, CorruptionRepaired, ScrubUnrepairable,
 ]
 
 

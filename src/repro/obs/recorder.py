@@ -137,7 +137,7 @@ def use(recorder) -> Iterator:
 # Attribute names that link a device to its children; walking them
 # covers every stack shape in the repository (caches, RAID, backends).
 _CHILD_ATTRS = ("lower", "cache_dev", "origin", "array",
-                "ssds", "members", "disks")
+                "ssds", "members", "disks", "spares")
 
 
 def iter_devices(root) -> Iterator:

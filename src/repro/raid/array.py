@@ -6,15 +6,22 @@ striping, RAID-1 striped mirrors, and parity RAID-4/-5 with the classic
 small-write problem — partial-stripe writes pay read-modify-write or
 reconstruct-write, whichever touches fewer members (§2.2, §3.2).
 
-Parity-level arrays survive a single member failure: reads of the lost
-member are reconstructed from the surviving members, and a replacement
-can be rebuilt online.
+Redundant arrays survive a single member failure per redundancy group:
+reads of the lost member are reconstructed from the survivors (parity)
+or served by the mirror (RAID-1).  Repair follows the md model through
+the shared :mod:`repro.repair` state machine: each member slot tracks
+``HEALTHY → DEGRADED → REBUILDING → HEALTHY`` health, hot spares from
+:meth:`_RaidBase.attach_spare` take a failed slot automatically, and
+rebuild is a resumable background job — pumped from request admission,
+rate-limited by :meth:`_RaidBase.set_rebuild_rate`, with reads of
+not-yet-rebuilt stripes served degraded.  RAID-1 resilvers by copying
+the surviving mirror; parity levels reconstruct from the survivors.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.block.device import BlockDevice
 from repro.common.errors import (ConfigError, DeviceFailedError,
@@ -23,7 +30,12 @@ from repro.common.types import IoOrigin, Op, Request
 from repro.common.units import KIB
 from repro.faults.policy import DEFAULT_RETRY, RetryPolicy
 from repro.faults.policy import submit_with_retry
-from repro.obs.events import DegradedRead, RebuildProgress
+from repro.obs.events import (DegradedRead, HealthTransition,
+                              RebuildCompleted, RebuildProgress,
+                              RebuildStarted)
+from repro.repair.health import DeviceHealth, HealthTracker
+from repro.repair.rebuild import RebuildJob
+from repro.repair.throttle import TokenBucket
 
 
 @dataclass(frozen=True)
@@ -55,6 +67,61 @@ class _RaidBase(BlockDevice):
         self.retry_policy: RetryPolicy = DEFAULT_RETRY
         self.member_retries = 0
         self.member_failstops = 0
+        # Online repair (repro.repair): per-slot health, a hot-spare
+        # pool, and at most one resumable rebuild job at a time.
+        self.health = HealthTracker(len(members), device=name)
+        self.spares: List[BlockDevice] = []
+        self.rebuild_job: Optional[RebuildJob] = None
+        self.rebuild_bucket = TokenBucket(0.0, chunk_size)  # unlimited
+        self.rebuilds_completed = 0
+        self._pumping = False
+
+    # -- repair plumbing ----------------------------------------------
+    def attach_spare(self, device: BlockDevice) -> None:
+        """Add a hot spare that will take the next failed slot."""
+        if device.size < self.member_size:
+            raise ConfigError(
+                f"spare {device.name} smaller than member size")
+        self.spares.append(device)
+
+    def set_rebuild_rate(self, rate_bytes_s: float) -> None:
+        """Throttle rebuild I/O (bytes/s of rebuilt data; 0 = unlimited)."""
+        self.rebuild_bucket = TokenBucket(rate_bytes_s, 2 * self.chunk_size)
+
+    def _emit(self, event) -> None:
+        if self.obs.enabled:
+            self.obs.emit(event)
+
+    def _transition(self, member: int, new: DeviceHealth, now: float,
+                    reason: str) -> None:
+        record = self.health.transition(member, new, now, reason)
+        self._emit(HealthTransition(
+            t=now, device=self.name, member=member,
+            old=record.old.value, new=record.new.value, reason=reason))
+
+    def _alive(self, index: int) -> bool:
+        return not getattr(self.members[index], "failed", False)
+
+    def _readable(self, index: int, stripe: int) -> bool:
+        """Whether a member's share of ``stripe`` holds valid data.
+
+        False for a failed member and for a rebuilding spare whose copy
+        of the stripe has not been reconstructed yet.
+        """
+        if not self._alive(index):
+            return False
+        job = self.rebuild_job
+        if job is not None and job.member == index and job.covers(stripe):
+            return False
+        return True
+
+    def _admit(self, req: Request, now: float) -> float:
+        # Background rebuild is caller-driven: it advances at request
+        # admission, so its I/O competes with the request on the same
+        # member timelines.
+        if self.rebuild_job is not None and not self._pumping:
+            self._pump_rebuild(now)
+        return super()._admit(req, now)
 
     def _member_submit(self, index: int, req: Request, now: float) -> float:
         """Submit to one member with bounded retry and backoff.
@@ -62,6 +129,9 @@ class _RaidBase(BlockDevice):
         A member that exhausts its retry budget is marked failed and a
         :class:`DeviceFailedError` is raised so redundancy-aware callers
         can fall back (mirror, reconstruction) or surface the loss.
+        Either way the repair layer is notified first: the slot turns
+        DEGRADED and a hot spare may take it before the caller even
+        sees the error.
         """
         member = self.members[index]
 
@@ -77,9 +147,190 @@ class _RaidBase(BlockDevice):
                 member.fail()
             else:
                 member.failed = True
+            self._on_member_failed(index, now)
             raise DeviceFailedError(
                 f"{member.name}: retry budget exhausted "
                 f"({self.retry_policy.max_attempts} attempts)") from exc
+        except DeviceFailedError:
+            self._on_member_failed(index, now)
+            raise
+
+    # -- failure handling and spare attach ----------------------------
+    def _rebuild_feasible(self, member: int) -> bool:
+        """Whether the level has a surviving copy to rebuild from."""
+        return False   # RAID-0: nothing to reconstruct
+
+    def _rebuild_step(self, member: int, stripe: int, now: float) -> float:
+        """Reconstruct one stripe's share onto ``members[member]``."""
+        raise RaidDegradedError(f"{self.name}: level cannot rebuild")
+
+    def _on_member_failed(self, index: int, now: float) -> None:
+        state = self.health.state(index)
+        if state is DeviceHealth.REBUILDING:
+            # The spare holding the slot died mid-rebuild.
+            job = self.rebuild_job
+            if job is not None and job.member == index:
+                job.cancelled = True
+                self.rebuild_job = None
+            self._transition(index, DeviceHealth.DEGRADED, now,
+                             "spare failed during rebuild")
+        elif state is DeviceHealth.HEALTHY:
+            self._transition(index, DeviceHealth.DEGRADED, now, "fail-stop")
+        elif state is not DeviceHealth.DEGRADED:
+            return   # terminal; nothing more to do
+        if not self._rebuild_feasible(index):
+            if self.health.state(index) is DeviceHealth.DEGRADED:
+                self._transition(index, DeviceHealth.FAILED, now,
+                                 "no surviving copy to rebuild from")
+            return
+        if self.spares and self.rebuild_job is None:
+            spare = self.spares.pop(0)
+            self.members[index] = spare
+            self._transition(index, DeviceHealth.REBUILDING, now,
+                             f"spare {spare.name} attached")
+            self._start_job(index, now)
+
+    # -- resumable rebuild --------------------------------------------
+    def _start_job(self, member: int, now: float) -> None:
+        job = RebuildJob(
+            member=member, target_name=self.members[member].name,
+            units=range(self.stripes),
+            failed_at=self.health.failed_since(member) or now,
+            started_at=now, unit_bytes=self.chunk_size)
+        self.rebuild_job = job
+        self._emit(RebuildStarted(t=now, device=self.name, member=member,
+                                  spare=self.members[member].name,
+                                  units=job.total))
+        if job.complete:
+            self._finish_rebuild(job, now)
+
+    def start_rebuild(self, member: int, now: float = 0.0) -> None:
+        """Begin (or resume bookkeeping for) rebuilding one member slot.
+
+        The slot's device must be serviceable (a replacement or an
+        attached spare); the data is reconstructed in the background as
+        the job is pumped — by request admission, :meth:`step_rebuild`,
+        or the synchronous :meth:`rebuild` wrapper.
+        """
+        if not self._alive(member):
+            raise RaidDegradedError(
+                f"member {member} must be repaired before rebuild")
+        if self.rebuild_job is not None:
+            if self.rebuild_job.member == member:
+                return   # already in flight; resumable by design
+            raise RaidDegradedError(
+                f"{self.name}: another rebuild is already in flight")
+        if not self._rebuild_feasible(member):
+            raise RaidDegradedError(
+                f"{self.name}: no surviving copy to rebuild member "
+                f"{member} from")
+        if self.health.state(member) in (DeviceHealth.HEALTHY,
+                                         DeviceHealth.DEGRADED):
+            self._transition(member, DeviceHealth.REBUILDING, now,
+                             "manual resilver")
+        self._start_job(member, now)
+
+    def step_rebuild(self, now: float, max_units: int = 1) -> float:
+        """Advance an active rebuild by up to ``max_units`` stripes.
+
+        Ignores the rate budget (the caller IS the scheduler here).
+        Returns the completion time of the last issued stripe.
+        """
+        job = self.rebuild_job
+        end = now
+        if job is None:
+            return end
+        for _ in range(max_units):
+            stripe = job.next_unit()
+            if stripe is None:
+                break
+            end = max(end, self._rebuild_step(job.member, stripe, now))
+            job.mark_done(stripe, end)
+        if job.complete and self.rebuild_job is job:
+            self._finish_rebuild(job, end)
+        return end
+
+    def _pump_rebuild(self, now: float) -> None:
+        job = self.rebuild_job
+        if job is None:
+            return
+        self._pumping = True
+        try:
+            progress_every = max(1, job.total // 16)
+            while True:
+                stripe = job.next_unit()
+                if stripe is None:
+                    break
+                if self.rebuild_bucket.ready_time(self.chunk_size,
+                                                  now) > now:
+                    break
+                self.rebuild_bucket.consume(self.chunk_size, now)
+                try:
+                    end = self._rebuild_step(job.member, stripe, now)
+                except (DeviceFailedError, RaidDegradedError):
+                    # A source (or the spare) died mid-step; the
+                    # failure path has already re-planned.
+                    if self.rebuild_job is job:
+                        job.cancelled = True
+                        self.rebuild_job = None
+                        if (self.health.state(job.member)
+                                is DeviceHealth.REBUILDING):
+                            self._transition(job.member,
+                                             DeviceHealth.DEGRADED, now,
+                                             "rebuild source lost")
+                    return
+                if job.cancelled or self.rebuild_job is not job:
+                    return
+                job.mark_done(stripe, end)
+                done = len(job.done)
+                if done % progress_every == 0 or done == job.total:
+                    self._emit(RebuildProgress(t=end, device=self.name,
+                                               done=done, total=job.total))
+            if job.complete:
+                self._finish_rebuild(job, now)
+        finally:
+            self._pumping = False
+
+    def _finish_rebuild(self, job: RebuildJob, now: float) -> None:
+        if self.rebuild_job is job:
+            self.rebuild_job = None
+        done_at = max(now, job.last_io_end)
+        self._transition(job.member, DeviceHealth.HEALTHY, done_at,
+                         "rebuild complete")
+        self.rebuilds_completed += 1
+        self._emit(RebuildCompleted(t=done_at, device=self.name,
+                                    member=job.member, units=job.total,
+                                    elapsed=self.health.last_mttr or 0.0))
+
+    def rebuild(self, member_index: int, now: float = 0.0) -> float:
+        """Synchronously rebuild one member; returns the completion time.
+
+        The compatibility wrapper over the resumable job: it runs the
+        job to completion, advancing simulated time stripe by stripe
+        (each stripe's reconstruction waits for the previous one).
+        """
+        if not self._alive(member_index):
+            raise RaidDegradedError(
+                f"member {member_index} must be repaired before rebuild")
+        if (self.rebuild_job is None
+                or self.rebuild_job.member != member_index):
+            self.start_rebuild(member_index, now)
+        job = self.rebuild_job
+        end = now
+        report_every = max(1, self.stripes // 16)
+        while job is not None and self.rebuild_job is job:
+            stripe = job.next_unit()
+            if stripe is None:
+                break
+            end = max(end, self._rebuild_step(member_index, stripe, end))
+            job.mark_done(stripe, end)
+            if self.obs.enabled and len(job.done) % report_every == 0:
+                self.obs.emit(RebuildProgress(
+                    t=end, device=self.name, done=len(job.done),
+                    total=job.total))
+        if job is not None and self.rebuild_job is job and job.complete:
+            self._finish_rebuild(job, end)
+        return end
 
     def _extents(self, req: Request) -> Iterator[_Extent]:
         offset, remaining = req.offset, req.length
@@ -143,6 +394,23 @@ class Raid1Device(_RaidBase):
     def _pair(self, chunk: int) -> Tuple[BlockDevice, BlockDevice]:
         return self.members[2 * chunk], self.members[2 * chunk + 1]
 
+    def _rebuild_feasible(self, member: int) -> bool:
+        return self._alive(member ^ 1)   # the other half of the pair
+
+    def _rebuild_step(self, member: int, stripe: int, now: float) -> float:
+        """Mirror resilver: copy one chunk row from the surviving half."""
+        mirror = member ^ 1
+        if not self._alive(mirror):
+            raise RaidDegradedError(
+                f"{self.name}: mirror of member {member} is dead")
+        off = stripe * self.chunk_size
+        read_end = self.members[mirror].submit(
+            Request(Op.READ, off, self.chunk_size,
+                    origin=IoOrigin.REBUILD), now)
+        return self.members[member].submit(
+            Request(Op.WRITE, off, self.chunk_size,
+                    origin=IoOrigin.REBUILD), read_end)
+
     def _service(self, req: Request, now: float) -> float:
         if req.op is Op.FLUSH:
             return self._flush_all(now)
@@ -154,7 +422,7 @@ class Raid1Device(_RaidBase):
             pair = (2 * ext.chunk, 2 * ext.chunk + 1)
             if req.op is Op.READ:
                 alive = [i for i in pair
-                         if not getattr(self.members[i], "failed", False)]
+                         if self._readable(i, ext.stripe)]
                 if not alive:
                     raise RaidDegradedError(
                         f"{self.name}: both mirrors of chunk dead")
@@ -208,8 +476,22 @@ class _ParityRaid(_RaidBase):
         parity = self._parity_member(stripe)
         return chunk if chunk < parity else chunk + 1
 
-    def _alive(self, index: int) -> bool:
-        return not getattr(self.members[index], "failed", False)
+    def _rebuild_feasible(self, member: int) -> bool:
+        return all(self._alive(i) for i in range(len(self.members))
+                   if i != member)
+
+    def _rebuild_step(self, member: int, stripe: int, now: float) -> float:
+        """Reconstruct one stripe: read every survivor, write the target."""
+        off = stripe * self.chunk_size
+        end = now
+        for i, device in enumerate(self.members):
+            sub = (Request(Op.WRITE, off, self.chunk_size,
+                           origin=IoOrigin.REBUILD)
+                   if i == member
+                   else Request(Op.READ, off, self.chunk_size,
+                                origin=IoOrigin.REBUILD))
+            end = max(end, device.submit(sub, now))
+        return end
 
     def _failed_members(self) -> List[int]:
         return [i for i in range(len(self.members)) if not self._alive(i)]
@@ -232,7 +514,7 @@ class _ParityRaid(_RaidBase):
         for ext in self._extents(req):
             member_idx = self._data_member(ext.stripe, ext.chunk)
             off = ext.stripe * self.chunk_size + ext.offset
-            if self._alive(member_idx):
+            if self._readable(member_idx, ext.stripe):
                 sub = Request(Op.READ, off, ext.length,
                               origin=req.origin)
                 try:
@@ -244,15 +526,27 @@ class _ParityRaid(_RaidBase):
                         raise RaidDegradedError(
                             f"{self.name}: second member lost mid-read")
             # Degraded read: reconstruct from all surviving members.
+            # Every other share of the stripe must be readable — a
+            # second dead member, or a rebuilding spare that has not
+            # reached this stripe, leaves nothing to reconstruct from.
+            sources = [i for i in range(len(self.members))
+                       if i != member_idx]
+            if not all(self._readable(i, ext.stripe) for i in sources):
+                raise RaidDegradedError(
+                    f"{self.name}: stripe {ext.stripe} is not "
+                    "reconstructable")
             if self.obs.enabled:
                 self.obs.emit(DegradedRead(
                     t=now, device=self.name,
                     lba=(ext.stripe * self.data_members + ext.chunk)))
+            if (self.rebuild_job is not None
+                    and self.rebuild_job.member == member_idx):
+                # A read already paid for this stripe's reconstruction;
+                # rebuild it next so the cost is paid once, not per read.
+                self.rebuild_job.promote(ext.stripe)
             sub = Request(Op.READ, ext.stripe * self.chunk_size,
                           self.chunk_size, origin=req.origin)
-            for i in range(len(self.members)):
-                if i == member_idx or not self._alive(i):
-                    continue
+            for i in sources:
                 try:
                     end = max(end, self._member_submit(i, sub, now))
                 except DeviceFailedError:
@@ -355,34 +649,6 @@ class _ParityRaid(_RaidBase):
                                      origin=req.origin), now))
                 except DeviceFailedError:
                     continue   # TRIM to a dying member loses nothing
-        return end
-
-    # ------------------------------------------------------------------
-    def rebuild(self, member_index: int, now: float = 0.0) -> float:
-        """Reconstruct a replaced member from the survivors.
-
-        Returns the simulated completion time of the rebuild.
-        """
-        if not self._alive(member_index):
-            raise RaidDegradedError(
-                f"member {member_index} must be repaired before rebuild")
-        end = now
-        # Emit coarse progress: at most ~16 events regardless of size.
-        report_every = max(1, self.stripes // 16)
-        for stripe in range(self.stripes):
-            off = stripe * self.chunk_size
-            for i, member in enumerate(self.members):
-                sub = (Request(Op.WRITE, off, self.chunk_size,
-                               origin=IoOrigin.REBUILD)
-                       if i == member_index
-                       else Request(Op.READ, off, self.chunk_size,
-                                    origin=IoOrigin.REBUILD))
-                end = max(end, member.submit(sub, now))
-            now = end
-            if self.obs.enabled and (stripe + 1) % report_every == 0:
-                self.obs.emit(RebuildProgress(
-                    t=end, device=self.name, done=stripe + 1,
-                    total=self.stripes))
         return end
 
 

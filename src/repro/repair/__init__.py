@@ -1,0 +1,14 @@
+"""repro.repair — online repair: health states, hot-spare rebuild, scrub."""
+
+from repro.repair.controller import RepairController
+from repro.repair.health import (DeviceHealth, HealthTracker,
+                                 RepairStateError, Transition)
+from repro.repair.rebuild import RebuildJob
+from repro.repair.scrub import ScrubReport
+from repro.repair.throttle import ForegroundGuard, TokenBucket
+
+__all__ = [
+    "DeviceHealth", "ForegroundGuard", "HealthTracker", "RebuildJob",
+    "RepairController", "RepairStateError", "ScrubReport", "TokenBucket",
+    "Transition",
+]

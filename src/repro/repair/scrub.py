@@ -1,0 +1,29 @@
+"""Scrub pass reporting.
+
+The scrubber itself lives in :mod:`repro.repair.controller` (it needs
+the cache's mapping, layout and submission paths); this module holds
+the plain result record a synchronous pass returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ScrubReport:
+    """Outcome of one complete scrub pass."""
+
+    checked_blocks: int = 0
+    repaired: int = 0
+    unrepairable: int = 0
+    duration_s: float = 0.0
+
+    @property
+    def corrupt_found(self) -> int:
+        return self.repaired + self.unrepairable
+
+    def as_dict(self) -> dict:
+        data = dict(self.__dict__)
+        data["corrupt_found"] = self.corrupt_found
+        return data
