@@ -1,20 +1,29 @@
 #!/usr/bin/env python
-"""Host-throughput benchmark for the split-phase engine.
+"""Host-throughput benchmark for the simulator's hot paths.
 
-Drives a Figure-2-style stack — one preconditioned, scaled-down
-commodity SSD under uniform-random 4 KiB writes — through the
-closed-loop engine and measures *wall-clock* requests per second: how
-fast the simulator itself chews through the pipeline (issue → admit →
-service → retire), not the simulated MB/s.  The number is the guard
-rail for engine-hot-path regressions; run it before and after touching
-``repro.sim.engine``, ``repro.block.device`` or
-``repro.block.lifecycle``.
+Measures *wall-clock* requests per second — how fast the simulator
+itself chews through the pipeline (issue → admit → service → retire),
+not the simulated MB/s.  The numbers are the guard rail for hot-path
+regressions; run it before and after touching ``repro.sim.engine``,
+``repro.block.device``, ``repro.block.lifecycle``, ``repro.ssd.ftl``
+or ``repro.core.src``, and let CI compare the result against the
+committed baseline (``scripts/check_bench_regression.py``).
 
-Scenarios cover both lifecycle paths: the plain-float fast path
-(``submit``) and the ``Submission`` path (``submit_request``), each at
-iodepth 1 and at the paper's FIO depth of 32.
+Scenarios
+---------
+* ``float/depth1``, ``float/depth32`` — Figure-2-style single-SSD
+  stack, plain-float fast path (``submit``), 4 KiB random writes;
+* ``submission/depth1``, ``submission/depth32`` — same stack through
+  the split-phase ``Submission`` path (``submit_request``);
+* ``src/randwrite4k`` — the full SRC stack (4 SSDs + origin) under
+  4 KiB uniform-random writes, catching cache-layer and FTL
+  regressions the raw-engine scenarios miss;
+* ``replay/msr-write`` — an MSR-style trace-replay segment (the Table
+  6 "write" group) against the SRC stack: the trace-parsing + replay +
+  cache path the paper's sweeps actually exercise.
 
-Writes ``BENCH_engine.json``::
+The output JSON records the git SHA and the repro config (scale, fill,
+seed) so BENCH artifacts from different CI runs are comparable::
 
     python scripts/bench_engine.py --requests 20000 --out BENCH_engine.json
 """
@@ -24,6 +33,7 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -31,13 +41,25 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.common.units import KIB                      # noqa: E402
+from repro.harness.context import build_src             # noqa: E402
 from repro.sim.engine import run_streams                # noqa: E402
 from repro.ssd.device import SSDDevice, precondition    # noqa: E402
 from repro.ssd.spec import SATA_MLC_128                 # noqa: E402
 from repro.workloads.fio import uniform_random          # noqa: E402
+from repro.workloads.replay import replay_group         # noqa: E402
 
 SCALE = 1 / 32
 FILL = 0.90          # leave GC headroom so service cost stays typical
+
+
+def _git_sha() -> str:
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            stderr=subprocess.DEVNULL).decode().strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
 
 
 def _build_ssd(seed: int) -> SSDDevice:
@@ -46,8 +68,21 @@ def _build_ssd(seed: int) -> SSDDevice:
     return ssd
 
 
-def _scenario(name: str, requests: int, iodepth: int,
-              submission: bool, seed: int) -> dict:
+def _result_row(name: str, extra: dict, completed: int, wall: float,
+                simulated: float, queue_delay_us: float = 0.0) -> dict:
+    return {
+        "scenario": name,
+        **extra,
+        "requests": completed,
+        "wall_seconds": round(wall, 4),
+        "reqs_per_sec": round(completed / wall) if wall else None,
+        "simulated_seconds": round(simulated, 4),
+        "mean_queue_delay_us": queue_delay_us,
+    }
+
+
+def _scenario_engine(name: str, requests: int, iodepth: int,
+                     submission: bool, seed: int) -> dict:
     ssd = _build_ssd(seed)
     span = int(ssd.size * FILL)
     if submission:
@@ -61,39 +96,78 @@ def _scenario(name: str, requests: int, iodepth: int,
     result = run_streams(issue, [stream], duration=float("inf"),
                          max_requests=requests, iodepth=iodepth)
     wall = time.perf_counter() - wall_start
-    return {
-        "scenario": name,
-        "iodepth": iodepth,
-        "submission_path": submission,
-        "requests": result.completed_ops,
-        "wall_seconds": round(wall, 4),
-        "reqs_per_sec": round(result.completed_ops / wall) if wall else None,
-        "simulated_seconds": round(result.elapsed, 4),
-        "mean_queue_delay_us": round(result.queue_delay.mean * 1e6, 2)
-        if result.queue_delay.count else 0.0,
-    }
+    return _result_row(
+        name, {"iodepth": iodepth, "submission_path": submission},
+        result.completed_ops, wall, result.elapsed,
+        round(result.queue_delay.mean * 1e6, 2)
+        if result.queue_delay.count else 0.0)
+
+
+def _scenario_src(name: str, requests: int, seed: int) -> dict:
+    """Full SRC stack under 4 KiB random writes.
+
+    The span covers 4x the scaled cache window so the workload
+    exercises segment appends, GC and destage rather than pure
+    cold-miss traffic.
+    """
+    src = build_src(SCALE)
+    span = min(src.size, 4 * src.config.cache_space)
+    stream = uniform_random(span, request_size=4 * KIB, seed=seed)
+
+    def issue(req, now):
+        return src.submit(req, now)
+
+    wall_start = time.perf_counter()
+    result = run_streams(issue, [stream], duration=float("inf"),
+                         max_requests=requests)
+    wall = time.perf_counter() - wall_start
+    return _result_row(name, {"stack": "src"}, result.completed_ops,
+                       wall, result.elapsed)
+
+
+def _scenario_replay(name: str, requests: int, seed: int) -> dict:
+    """MSR-style trace-replay segment against the SRC stack."""
+    src = build_src(SCALE)
+    wall_start = time.perf_counter()
+    result = replay_group(src, "write", scale=SCALE,
+                          duration=float("inf"), seed=seed,
+                          max_requests=requests)
+    wall = time.perf_counter() - wall_start
+    return _result_row(name, {"stack": "src", "trace_group": "write"},
+                       result.completed_ops, wall, result.elapsed)
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--requests", type=int, default=20000,
-                        help="requests per scenario (default 20000)")
+                        help="requests per scenario (default 20000; the "
+                             "SRC/replay scenarios run half as many — "
+                             "they cost more wall time per request)")
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--out", type=Path,
                         default=Path("BENCH_engine.json"))
     args = parser.parse_args(argv)
 
     scenarios = [
-        _scenario("float/depth1", args.requests, 1, False, args.seed),
-        _scenario("float/depth32", args.requests, 32, False, args.seed),
-        _scenario("submission/depth1", args.requests, 1, True, args.seed),
-        _scenario("submission/depth32", args.requests, 32, True, args.seed),
+        _scenario_engine("float/depth1", args.requests, 1, False,
+                         args.seed),
+        _scenario_engine("float/depth32", args.requests, 32, False,
+                         args.seed),
+        _scenario_engine("submission/depth1", args.requests, 1, True,
+                         args.seed),
+        _scenario_engine("submission/depth32", args.requests, 32, True,
+                         args.seed),
+        _scenario_src("src/randwrite4k", args.requests // 2, args.seed),
+        _scenario_replay("replay/msr-write", args.requests // 2,
+                         args.seed),
     ]
     headline = min(s["reqs_per_sec"] for s in scenarios)
     payload = {
-        "benchmark": "engine host throughput (fig2-style single-SSD stack)",
+        "benchmark": "simulator host throughput (engine + SRC stack)",
+        "git_sha": _git_sha(),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "config": {"scale": "1/32", "fill": FILL, "seed": args.seed},
         "requests_per_scenario": args.requests,
         "reqs_per_sec_min": headline,
         "scenarios": scenarios,

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""CI perf gate: compare a fresh bench run against the committed baseline.
+
+Reads two ``bench_engine.py`` JSON payloads and fails (exit 1) if any
+scenario present in the baseline regressed by more than ``--tolerance``
+(default 25%) in wall-clock reqs/s, or disappeared from the fresh run.
+Improvements and new scenarios pass.
+
+The committed baseline was produced on one specific machine; CI runners
+differ in absolute speed, which is exactly what the tolerance absorbs —
+it is a guard against order-of-magnitude hot-path regressions, not a
+microbenchmark court.  Tune with ``--tolerance`` (a fraction: 0.25 =
+25%) if a runner class is persistently slower.
+
+Usage::
+
+    python scripts/check_bench_regression.py \
+        --baseline BENCH_engine.json --fresh BENCH_fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_scenarios(path: Path) -> dict:
+    payload = json.loads(path.read_text())
+    return {s["scenario"]: s for s in payload.get("scenarios", [])}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="committed BENCH_engine.json")
+    parser.add_argument("--fresh", type=Path, required=True,
+                        help="JSON from the bench run under test")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional reqs/s drop per "
+                             "scenario (default 0.25 = 25%%)")
+    args = parser.parse_args(argv)
+
+    baseline = load_scenarios(args.baseline)
+    fresh = load_scenarios(args.fresh)
+    if not baseline:
+        print(f"error: no scenarios in baseline {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    width = max(len(name) for name in baseline)
+    for name, base in sorted(baseline.items()):
+        base_rps = base.get("reqs_per_sec") or 0
+        got = fresh.get(name)
+        if got is None:
+            failures.append(name)
+            print(f"{name:>{width}}: MISSING from fresh run (baseline "
+                  f"{base_rps:,} req/s)")
+            continue
+        got_rps = got.get("reqs_per_sec") or 0
+        change = (got_rps - base_rps) / base_rps if base_rps else 0.0
+        verdict = "ok"
+        if change < -args.tolerance:
+            verdict = "REGRESSION"
+            failures.append(name)
+        print(f"{name:>{width}}: {base_rps:>9,} -> {got_rps:>9,} req/s "
+              f"({change:+.1%})  {verdict}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} scenario(s) regressed beyond "
+              f"{args.tolerance:.0%}: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print(f"\nOK: no scenario regressed beyond {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

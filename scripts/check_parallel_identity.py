@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""CI check: a parallel sweep must equal the serial sweep byte-for-byte.
+
+Runs a reduced Figure-2 sweep twice — in-process (``jobs=1``) and
+across a process pool (``--jobs``, default 4) — and compares the JSON
+serialization of the two ``ExperimentResult`` objects.  Any divergence
+means a sweep point leaked state between processes (an unseeded RNG, a
+module-level cache, ambient-recorder contamination) and fails the job.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_parallel_identity.py --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.harness import exp_fig2                      # noqa: E402
+from repro.harness.context import ExperimentScale       # noqa: E402
+
+# A reduced grid keeps the check under a minute while still spanning
+# multiple rows and columns (so result reshaping is exercised too).
+OPS_LEVELS = (0.0, 0.2, 0.4)
+SIZES_MB = (32, 128, 512)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    es = ExperimentScale(scale=1 / 64, warmup=5.0, duration=5.0,
+                         seed=args.seed)
+    t0 = time.perf_counter()
+    serial = exp_fig2.run(es, ops_levels=OPS_LEVELS, sizes=SIZES_MB,
+                          jobs=1)
+    t1 = time.perf_counter()
+    parallel = exp_fig2.run(es, ops_levels=OPS_LEVELS, sizes=SIZES_MB,
+                            jobs=args.jobs)
+    t2 = time.perf_counter()
+
+    a = json.dumps(serial.as_dict(), sort_keys=True)
+    b = json.dumps(parallel.as_dict(), sort_keys=True)
+    print(f"serial {t1 - t0:.2f}s, --jobs {args.jobs} {t2 - t1:.2f}s")
+    if a != b:
+        print("FAIL: parallel sweep diverged from serial sweep",
+              file=sys.stderr)
+        print(f"serial:   {a}", file=sys.stderr)
+        print(f"parallel: {b}", file=sys.stderr)
+        return 1
+    print(f"OK: --jobs {args.jobs} result is byte-identical to serial "
+          f"({len(OPS_LEVELS) * len(SIZES_MB)} sweep points)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""cProfile harness for the simulator's per-request hot paths.
+
+Profiles the same stacks ``bench_engine.py`` measures and prints the
+top functions by cumulative and internal time, so "where does a
+request's wall-clock go?" has a one-command answer.  Use it before and
+after touching the engine, the block layer, the FTL or SRC, and record
+the before/after summary in ``docs/performance.md``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_hotpath.py                # engine
+    PYTHONPATH=src python scripts/profile_hotpath.py --scenario src
+    PYTHONPATH=src python scripts/profile_hotpath.py --requests 50000 \
+        --sort tottime --limit 40
+    PYTHONPATH=src python scripts/profile_hotpath.py --out hot.pstats
+    # then e.g.: python -m pstats hot.pstats   (or snakeviz/pyinstrument)
+
+If ``pyinstrument`` happens to be installed, ``--pyinstrument`` renders
+a wall-clock call tree instead; the cProfile path has no dependencies
+beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.common.units import KIB                      # noqa: E402
+from repro.harness.context import build_src             # noqa: E402
+from repro.sim.engine import run_streams                # noqa: E402
+from repro.ssd.device import SSDDevice, precondition    # noqa: E402
+from repro.ssd.spec import SATA_MLC_128                 # noqa: E402
+from repro.workloads.fio import uniform_random          # noqa: E402
+from repro.workloads.replay import replay_group         # noqa: E402
+
+SCALE = 1 / 32
+FILL = 0.90
+
+
+def workload_engine(requests: int, seed: int) -> None:
+    """Single-SSD 4 KiB random writes — the raw engine/FTL path."""
+    ssd = SSDDevice(SATA_MLC_128.scaled(SCALE))
+    precondition(ssd, fill_fraction=FILL)
+    stream = uniform_random(int(ssd.size * FILL), request_size=4 * KIB,
+                            seed=seed)
+    run_streams(lambda req, now: ssd.submit(req, now), [stream],
+                duration=float("inf"), max_requests=requests)
+
+
+def workload_src(requests: int, seed: int) -> None:
+    """Full SRC stack under 4 KiB random writes."""
+    src = build_src(SCALE)
+    span = min(src.size, 4 * src.config.cache_space)
+    stream = uniform_random(span, request_size=4 * KIB, seed=seed)
+    run_streams(lambda req, now: src.submit(req, now), [stream],
+                duration=float("inf"), max_requests=requests)
+
+
+def workload_replay(requests: int, seed: int) -> None:
+    """MSR-style trace replay against the SRC stack."""
+    src = build_src(SCALE)
+    replay_group(src, "write", scale=SCALE, duration=float("inf"),
+                 seed=seed, max_requests=requests)
+
+
+SCENARIOS = {
+    "engine": workload_engine,
+    "src": workload_src,
+    "replay": workload_replay,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", choices=sorted(SCENARIOS),
+                        default="engine")
+    parser.add_argument("--requests", type=int, default=20000)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--sort", choices=("cumulative", "tottime"),
+                        default="cumulative")
+    parser.add_argument("--limit", type=int, default=25,
+                        help="rows of profile output (default 25)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="also dump raw pstats data to this file")
+    parser.add_argument("--pyinstrument", action="store_true",
+                        help="use pyinstrument if installed (optional "
+                             "dependency; cProfile needs nothing extra)")
+    args = parser.parse_args(argv)
+
+    workload = SCENARIOS[args.scenario]
+
+    if args.pyinstrument:
+        try:
+            from pyinstrument import Profiler
+        except ImportError:
+            print("pyinstrument is not installed; falling back to "
+                  "cProfile", file=sys.stderr)
+        else:
+            profiler = Profiler()
+            profiler.start()
+            workload(args.requests, args.seed)
+            profiler.stop()
+            print(profiler.output_text(unicode=True, color=False))
+            return 0
+
+    profile = cProfile.Profile()
+    profile.enable()
+    workload(args.requests, args.seed)
+    profile.disable()
+
+    stats = pstats.Stats(profile)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"# wrote raw profile to {args.out}")
+    print(f"# scenario={args.scenario} requests={args.requests} "
+          f"seed={args.seed} sort={args.sort}")
+    stats.sort_stats(args.sort).print_stats(args.limit)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,14 +25,12 @@ zero-cost default the baseline targets rely on.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import List
 
 from repro.common.errors import ConfigError
 from repro.common.types import IoOrigin, Request
 
 
-@dataclass(frozen=True)
 class Submission:
     """One request's trip through a device: issue → begin → complete.
 
@@ -41,14 +39,27 @@ class Submission:
     delay behind the device's queue-depth limit); ``done_t`` is the
     completion time.  ``origin`` attributes the work (foreground, GC,
     destage, rebuild) and ``device`` names the servicing device.
+
+    One Submission is allocated per request on the split-phase path,
+    so this is a ``__slots__`` class; treat instances as immutable.
     """
 
-    req: Request
-    device: str
-    issue_t: float
-    begin_t: float
-    done_t: float
-    origin: IoOrigin = IoOrigin.FOREGROUND
+    __slots__ = ("req", "device", "issue_t", "begin_t", "done_t", "origin")
+
+    def __init__(self, req: Request, device: str, issue_t: float,
+                 begin_t: float, done_t: float,
+                 origin: IoOrigin = IoOrigin.FOREGROUND):
+        self.req = req
+        self.device = device
+        self.issue_t = issue_t
+        self.begin_t = begin_t
+        self.done_t = done_t
+        self.origin = origin
+
+    def __repr__(self) -> str:
+        return (f"Submission(req={self.req!r}, device={self.device!r}, "
+                f"issue_t={self.issue_t}, begin_t={self.begin_t}, "
+                f"done_t={self.done_t}, origin={self.origin!r})")
 
     @property
     def queue_delay(self) -> float:
@@ -78,14 +89,19 @@ class Submission:
         }
 
 
-@dataclass
 class QueueStats:
-    """Per-device queue-occupancy counters."""
+    """Per-device queue-occupancy counters (``__slots__``: updated on
+    every retire of a queued device)."""
 
-    submissions: int = 0
-    queued_ops: int = 0          # submissions that waited for a slot
-    queue_delay_total: float = 0.0
-    max_outstanding: int = 0
+    __slots__ = ("submissions", "queued_ops", "queue_delay_total",
+                 "max_outstanding")
+
+    def __init__(self, submissions: int = 0, queued_ops: int = 0,
+                 queue_delay_total: float = 0.0, max_outstanding: int = 0):
+        self.submissions = submissions
+        self.queued_ops = queued_ops          # waited for a slot
+        self.queue_delay_total = queue_delay_total
+        self.max_outstanding = max_outstanding
 
     @property
     def mean_queue_delay(self) -> float:
@@ -93,9 +109,13 @@ class QueueStats:
                 if self.queued_ops else 0.0)
 
     def as_dict(self) -> dict:
-        data = dict(self.__dict__)
-        data["mean_queue_delay"] = self.mean_queue_delay
-        return data
+        return {
+            "submissions": self.submissions,
+            "queued_ops": self.queued_ops,
+            "queue_delay_total": self.queue_delay_total,
+            "max_outstanding": self.max_outstanding,
+            "mean_queue_delay": self.mean_queue_delay,
+        }
 
 
 class QueuedDevice:

@@ -3,7 +3,8 @@
 Commands
 --------
 experiments              list the reproducible tables/figures
-run <exp-id> [...]       run experiments; ``--format json`` adds telemetry
+run <exp-id> [...]       run experiments; ``--format json`` adds telemetry,
+                         ``--jobs N`` fans sweep points over N processes
 trace <exp-id>           run one experiment and dump its event trace
 report [out.md]          run everything, write the experiments report
 replay <group>           replay a trace group against a chosen target
@@ -24,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import inspect
 import sys
 from dataclasses import replace
 
@@ -105,12 +107,20 @@ def cmd_experiments(_args) -> int:
     return 0
 
 
-def _run_one(exp_id: str, es: ExperimentScale):
-    """Run one experiment id, returning ExperimentResult(s)."""
+def _run_one(exp_id: str, es: ExperimentScale, jobs: int = 1):
+    """Run one experiment id, returning ExperimentResult(s).
+
+    ``jobs`` fans independent sweep points out over a process pool for
+    the experiments whose ``run`` accepts it (fig2/fig4/fig5 and any
+    future sweep); others run serially regardless — results are
+    identical either way (see repro.harness.parallel).
+    """
     module_name, _ = EXPERIMENTS[exp_id]
     module = importlib.import_module(module_name)
     if exp_id == "tables4-12":
         return [module.run_table4(), module.run_table12()]
+    if jobs != 1 and "jobs" in inspect.signature(module.run).parameters:
+        return [module.run(es, jobs=jobs)]
     return [module.run(es)]
 
 
@@ -125,7 +135,7 @@ def cmd_run(args) -> int:
     if args.format == "table":
         first = True
         for exp_id in args.experiments:
-            for result in _run_one(exp_id, es):
+            for result in _run_one(exp_id, es, jobs=args.jobs):
                 if not first:
                     print()
                 print(result.render())
@@ -139,7 +149,7 @@ def cmd_run(args) -> int:
     for exp_id in args.experiments:
         recorder = ObsRecorder(sample_interval=SAMPLE_INTERVAL)
         with use(recorder):
-            results = _run_one(exp_id, es)
+            results = _run_one(exp_id, es, jobs=args.jobs)
         payloads.append({
             "id": exp_id,
             "results": [r.as_dict() for r in results],
@@ -306,6 +316,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--format", choices=("table", "json"),
                      default="table",
                      help="table (default) or json with telemetry")
+    run.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="processes for sweep experiments (fig2/fig4/"
+                          "fig5); results are identical to --jobs 1")
     _add_scale_flags(run)
 
     trace = sub.add_parser(

@@ -8,7 +8,6 @@ Simulated devices consume a request and return the completion time.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, fields
 
 from repro.common.units import PAGE_SIZE
 
@@ -40,7 +39,6 @@ class IoOrigin(enum.Enum):
     SCRUB = "scrub"
 
 
-@dataclass
 class Request:
     """A block-layer I/O request.
 
@@ -50,19 +48,40 @@ class Request:
     or one of the background services (GC, destage, rebuild); layers
     that transform a request must propagate it to the sub-requests they
     issue so per-device attribution stays truthful.
+
+    Plain ``__slots__`` class rather than a dataclass: millions of
+    Requests are allocated per run, and dropping the per-instance
+    ``__dict__`` measurably cuts both allocation time and memory.
     """
 
-    op: Op
-    offset: int = 0
-    length: int = 0
-    fua: bool = False
-    origin: IoOrigin = IoOrigin.FOREGROUND
+    __slots__ = ("op", "offset", "length", "fua", "origin")
 
-    def __post_init__(self) -> None:
-        if self.offset < 0 or self.length < 0:
-            raise ValueError(f"negative offset/length: {self}")
-        if self.op is Op.FLUSH and self.length != 0:
+    def __init__(self, op: Op, offset: int = 0, length: int = 0,
+                 fua: bool = False,
+                 origin: IoOrigin = IoOrigin.FOREGROUND):
+        if offset < 0 or length < 0:
+            raise ValueError(
+                f"negative offset/length: {op} offset={offset} "
+                f"length={length}")
+        if op is Op.FLUSH and length != 0:
             raise ValueError("FLUSH requests carry no data")
+        self.op = op
+        self.offset = offset
+        self.length = length
+        self.fua = fua
+        self.origin = origin
+
+    def __repr__(self) -> str:
+        return (f"Request(op={self.op!r}, offset={self.offset}, "
+                f"length={self.length}, fua={self.fua}, "
+                f"origin={self.origin!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Request):
+            return NotImplemented
+        return (self.op is other.op and self.offset == other.offset
+                and self.length == other.length and self.fua == other.fua
+                and self.origin is other.origin)
 
     @property
     def end(self) -> int:
@@ -91,18 +110,43 @@ def trim(offset: int, length: int) -> Request:
     return Request(Op.TRIM, offset, length)
 
 
-@dataclass
-class IoStats:
-    """Byte and operation counters, kept per device / per layer."""
+_IOSTATS_FIELDS = ("read_bytes", "write_bytes", "read_ops", "write_ops",
+                   "flush_ops", "trim_ops", "trim_bytes", "bytes_by_origin")
 
-    read_bytes: int = 0
-    write_bytes: int = 0
-    read_ops: int = 0
-    write_ops: int = 0
-    flush_ops: int = 0
-    trim_ops: int = 0
-    trim_bytes: int = 0
-    bytes_by_origin: dict = field(default_factory=dict)
+
+class IoStats:
+    """Byte and operation counters, kept per device / per layer.
+
+    ``__slots__`` because ``record`` sits on the per-request hot path
+    of every device in the stack.
+    """
+
+    __slots__ = _IOSTATS_FIELDS
+
+    def __init__(self, read_bytes: int = 0, write_bytes: int = 0,
+                 read_ops: int = 0, write_ops: int = 0,
+                 flush_ops: int = 0, trim_ops: int = 0,
+                 trim_bytes: int = 0, bytes_by_origin: dict = None):
+        self.read_bytes = read_bytes
+        self.write_bytes = write_bytes
+        self.read_ops = read_ops
+        self.write_ops = write_ops
+        self.flush_ops = flush_ops
+        self.trim_ops = trim_ops
+        self.trim_bytes = trim_bytes
+        self.bytes_by_origin = ({} if bytes_by_origin is None
+                                else bytes_by_origin)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{name}={getattr(self, name)!r}"
+                         for name in _IOSTATS_FIELDS)
+        return f"IoStats({body})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IoStats):
+            return NotImplemented
+        return all(getattr(self, name) == getattr(other, name)
+                   for name in _IOSTATS_FIELDS)
 
     def record(self, req: Request) -> None:
         if req.op is Op.READ:
@@ -142,7 +186,7 @@ class IoStats:
                    if k != IoOrigin.FOREGROUND.value)
 
     def as_dict(self) -> dict:
-        data = dict(self.__dict__)
+        data = {name: getattr(self, name) for name in _IOSTATS_FIELDS}
         data["bytes_by_origin"] = dict(self.bytes_by_origin)
         data["total_bytes"] = self.total_bytes
         data["total_ops"] = self.total_ops
@@ -152,8 +196,8 @@ class IoStats:
 
     @classmethod
     def from_dict(cls, data: dict) -> "IoStats":
-        names = {f.name for f in fields(cls)}
-        return cls(**{k: v for k, v in data.items() if k in names})
+        return cls(**{k: v for k, v in data.items()
+                      if k in _IOSTATS_FIELDS})
 
     def snapshot(self) -> "IoStats":
         return IoStats(
@@ -181,19 +225,28 @@ class IoStats:
         )
 
 
-@dataclass
 class LatencyStats:
     """Streaming latency accumulator with approximate percentiles.
 
     Percentiles come from a fixed reservoir sample (size 4096) so
-    memory stays bounded over arbitrarily long runs.
+    memory stays bounded over arbitrarily long runs.  ``__slots__``:
+    one ``record`` per completion on the engine hot path.
     """
 
-    count: int = 0
-    total: float = 0.0
-    max: float = 0.0
-    _reservoir: list = field(default_factory=list)
-    _reservoir_size: int = 4096
+    __slots__ = ("count", "total", "max", "_reservoir", "_reservoir_size")
+
+    def __init__(self, count: int = 0, total: float = 0.0,
+                 max: float = 0.0, _reservoir: list = None,
+                 _reservoir_size: int = 4096):
+        self.count = count
+        self.total = total
+        self.max = max
+        self._reservoir = [] if _reservoir is None else _reservoir
+        self._reservoir_size = _reservoir_size
+
+    def __repr__(self) -> str:
+        return (f"LatencyStats(count={self.count}, total={self.total}, "
+                f"max={self.max})")
 
     def record(self, latency: float) -> None:
         self.count += 1

@@ -9,12 +9,14 @@ superblock GC rather than being asserted.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import List
 
 import numpy as np
 
 from repro.common.units import MIB, PAGE_SIZE, mb_per_sec
 from repro.harness.context import DEFAULT_SCALE, ExperimentScale
+from repro.harness.parallel import grid, parallel_map
 from repro.harness.results import ExperimentResult
 from repro.ssd.device import SSDDevice, precondition
 from repro.ssd.spec import SATA_MLC_128
@@ -46,18 +48,29 @@ def measure_cell(ops: float, chunk_nominal_mb: int,
     return mb_per_sec(total, now)
 
 
+def _cell(point: tuple, es: ExperimentScale) -> float:
+    """One (OPS, size) sweep point; module-level so pools can pickle it."""
+    ops, size = point
+    return measure_cell(ops, size, es)
+
+
 def run(es: ExperimentScale = DEFAULT_SCALE,
-        ops_levels=OPS_LEVELS, sizes=WRITE_SIZES_MB) -> ExperimentResult:
+        ops_levels=OPS_LEVELS, sizes=WRITE_SIZES_MB,
+        jobs: int = 1) -> ExperimentResult:
     result = ExperimentResult(
         experiment="Figure 2",
         title="Erase group size: throughput (MB/s) vs write unit size "
               "across OPS levels",
         columns=["OPS"] + [f"{s}MB" for s in sizes],
     )
-    for ops in ops_levels:
+    # Each cell builds its own SSD from es.seed: the points are
+    # independent, so the grid fans out over processes (--jobs) with
+    # results identical to the serial loop.
+    cells = parallel_map(partial(_cell, es=es), grid(ops_levels, sizes),
+                         jobs=jobs)
+    for i, ops in enumerate(ops_levels):
         row: List[object] = [f"{int(ops * 100)}%"]
-        for size in sizes:
-            row.append(measure_cell(ops, size, es))
+        row.extend(cells[i * len(sizes):(i + 1) * len(sizes)])
         result.add_row(*row)
     result.notes.append("paper shape: converges to ~400 MB/s at 256MB "
                         "independent of OPS; small units degrade more "

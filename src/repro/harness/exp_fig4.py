@@ -8,11 +8,13 @@ minimized at the small end (small units are more fully utilized).
 
 from __future__ import annotations
 
+from functools import partial
 
 from repro.common.units import MIB
 from repro.core.config import SrcConfig
 from repro.harness.context import (CACHE_SPACE, DEFAULT_SCALE,
                                    ExperimentScale, build_src)
+from repro.harness.parallel import grid, parallel_map
 from repro.harness.results import ExperimentResult
 from repro.harness.runner import TRACE_GROUPS, run_trace_group
 
@@ -21,24 +23,28 @@ from repro.harness.runner import TRACE_GROUPS, run_trace_group
 ERASE_SIZES_MB = (32, 64, 128, 256, 512, 1024)
 
 
+def _cell(point: tuple, es: ExperimentScale) -> str:
+    """One (group, erase size) point; module-level for pool pickling."""
+    group, size = point
+    config = SrcConfig(cache_space=CACHE_SPACE,
+                       erase_group_size=size * MIB)
+    cache = build_src(es.scale, config=config)
+    res = run_trace_group(cache, group, es)
+    return f"{res.throughput_mb_s:.1f} ({res.io_amplification:.2f})"
+
+
 def run(es: ExperimentScale = DEFAULT_SCALE,
-        sizes=ERASE_SIZES_MB) -> ExperimentResult:
+        sizes=ERASE_SIZES_MB, jobs: int = 1) -> ExperimentResult:
     result = ExperimentResult(
         experiment="Figure 4",
         title="SRC vs erase group size: throughput MB/s "
               "(I/O amplification)",
         columns=["Group"] + [f"{s}MB" for s in sizes],
     )
-    for group in TRACE_GROUPS:
-        row = [group]
-        for size in sizes:
-            config = SrcConfig(cache_space=CACHE_SPACE,
-                               erase_group_size=size * MIB)
-            cache = build_src(es.scale, config=config)
-            res = run_trace_group(cache, group, es)
-            row.append(f"{res.throughput_mb_s:.1f} "
-                       f"({res.io_amplification:.2f})")
-        result.add_row(*row)
+    cells = parallel_map(partial(_cell, es=es),
+                         grid(TRACE_GROUPS, sizes), jobs=jobs)
+    for i, group in enumerate(TRACE_GROUPS):
+        result.add_row(group, *cells[i * len(sizes):(i + 1) * len(sizes)])
     result.notes.append("paper shape: throughput rises with erase group "
                         "size; amplification minimized at the small end")
     return result

@@ -8,32 +8,39 @@ UMAX.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.core.config import GcScheme, SrcConfig
 from repro.harness.context import (CACHE_SPACE, DEFAULT_SCALE,
                                    ExperimentScale, build_src)
+from repro.harness.parallel import grid, parallel_map
 from repro.harness.results import ExperimentResult
 from repro.harness.runner import TRACE_GROUPS, run_trace_group
 
 UMAX_LEVELS = (0.30, 0.50, 0.70, 0.90, 0.95)
 
 
+def _cell(point: tuple, es: ExperimentScale) -> str:
+    """One (group, UMAX) point; module-level for pool pickling."""
+    group, u_max = point
+    config = SrcConfig(cache_space=CACHE_SPACE,
+                       gc_scheme=GcScheme.SEL_GC, u_max=u_max)
+    cache = build_src(es.scale, config=config)
+    res = run_trace_group(cache, group, es)
+    return f"{res.throughput_mb_s:.1f} ({res.io_amplification:.2f})"
+
+
 def run(es: ExperimentScale = DEFAULT_SCALE,
-        levels=UMAX_LEVELS) -> ExperimentResult:
+        levels=UMAX_LEVELS, jobs: int = 1) -> ExperimentResult:
     result = ExperimentResult(
         experiment="Figure 5",
         title="Sel-GC UMAX sweep: throughput MB/s (I/O amplification)",
         columns=["Group"] + [f"{int(u * 100)}%" for u in levels],
     )
-    for group in TRACE_GROUPS:
-        row = [group]
-        for u_max in levels:
-            config = SrcConfig(cache_space=CACHE_SPACE,
-                               gc_scheme=GcScheme.SEL_GC, u_max=u_max)
-            cache = build_src(es.scale, config=config)
-            res = run_trace_group(cache, group, es)
-            row.append(f"{res.throughput_mb_s:.1f} "
-                       f"({res.io_amplification:.2f})")
-        result.add_row(*row)
+    cells = parallel_map(partial(_cell, es=es),
+                         grid(TRACE_GROUPS, levels), jobs=jobs)
+    for i, group in enumerate(TRACE_GROUPS):
+        result.add_row(group, *cells[i * len(levels):(i + 1) * len(levels)])
     result.notes.append("paper shape: peak near UMAX=90%, amplification "
                         "grows with UMAX")
     return result

@@ -4,11 +4,14 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
+from functools import partial
+
 from repro.baselines.common import CacheTarget
 from repro.block.device import BlockDevice
 from repro.common.types import Op, Request
 from repro.common.units import KIB, mb_per_sec
 from repro.harness.context import ExperimentScale
+from repro.harness.parallel import parallel_map
 from repro.obs.recorder import get_recorder
 from repro.sim.engine import run_streams
 from repro.workloads import fio
@@ -30,14 +33,25 @@ def run_trace_group(target: CacheTarget, group: str,
                         seed=es.seed, think_time=think_time)
 
 
+def _group_cell(group: str, build: Callable[[], CacheTarget],
+                es: ExperimentScale) -> ReplayResult:
+    """One trace-group replay on a fresh stack (pool-picklable)."""
+    return run_trace_group(build(), group, es)
+
+
 def run_all_groups(build: Callable[[], CacheTarget],
-                   es: ExperimentScale) -> Dict[str, ReplayResult]:
-    """Fresh stack per group, as the paper runs each group separately."""
-    results = {}
-    for group in TRACE_GROUPS:
-        target = build()
-        results[group] = run_trace_group(target, group, es)
-    return results
+                   es: ExperimentScale,
+                   jobs: int = 1) -> Dict[str, ReplayResult]:
+    """Fresh stack per group, as the paper runs each group separately.
+
+    ``jobs > 1`` replays the groups across a process pool (``build``
+    must then be picklable — a module-level function or partial);
+    results are identical to the serial path because each group builds
+    its own seeded stack.
+    """
+    results = parallel_map(partial(_group_cell, build=build, es=es),
+                           TRACE_GROUPS, jobs=jobs)
+    return dict(zip(TRACE_GROUPS, results))
 
 
 def run_fio_random_write(device: BlockDevice, es: ExperimentScale,

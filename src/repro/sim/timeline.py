@@ -38,10 +38,22 @@ class Timeline:
         """
         if duration < 0:
             raise TimingError(f"negative duration {duration}")
-        earliest = heapq.heappop(self._free)
-        begin = max(start, earliest)
+        free = self._free
+        if self.servers == 1:
+            # Single-server fast path: a one-element heap is just a
+            # float; skip the heappop/heappush pair.  Most resources in
+            # the stack (NAND pipelines, links, disk arms) are single
+            # servers, and acquire runs several times per request.
+            earliest = free[0]
+            begin = start if start > earliest else earliest
+            end = begin + duration
+            free[0] = end
+            self.busy_time += duration
+            return begin, end
+        earliest = heapq.heappop(free)
+        begin = start if start > earliest else earliest
         end = begin + duration
-        heapq.heappush(self._free, end)
+        heapq.heappush(free, end)
         self.busy_time += duration
         return begin, end
 

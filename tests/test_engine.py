@@ -168,3 +168,83 @@ def test_sampler_never_observes_past_duration():
                 duration=1.0, sampler=sampler)
     assert sampler.times
     assert max(sampler.times) <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# edge cases the tuple-heap rewrite must preserve
+# ---------------------------------------------------------------------------
+def test_stream_exhaustion_mid_run_keeps_others_going():
+    # One stream dries up after 2 requests; the other runs the full
+    # window.  The exhausted stream must drop out of the heap without
+    # stalling or double-counting the survivor.
+    result = run_streams(fixed_latency_issue(0.1),
+                         [repeat(write(0, 4096), count=2),
+                          repeat(write(0, 4096))],
+                         duration=10.0)
+    # survivor completes ~100, exhausted stream adds exactly 2
+    assert 97 <= result.completed_ops <= 103
+    assert result.elapsed == pytest.approx(10.0)
+
+
+def test_all_streams_exhausted_truncates_elapsed():
+    # Sources dry up at t=1.5 against a 10s window: elapsed reports the
+    # actual span, not the requested duration.
+    result = run_streams(fixed_latency_issue(0.5),
+                         [repeat(write(0, 4096), count=3)],
+                         duration=10.0)
+    assert result.completed_ops == 3
+    assert result.elapsed == pytest.approx(1.5)
+
+
+def test_max_requests_truncates_elapsed_to_last_completion():
+    # Truncation by max_requests reports the time actually covered
+    # (last completion), not the (much larger) requested duration.
+    result = run_streams(fixed_latency_issue(0.1),
+                         [repeat(write(0, 4096))],
+                         duration=100.0, max_requests=5)
+    assert result.completed_ops == 5
+    assert result.elapsed == pytest.approx(0.5)
+
+
+def test_iodepth_slot_accounting_under_and_at_budget():
+    stream = JobStream(repeat(write(0, 4096)), iodepth=2, think_time=0.0)
+    # Under budget: next issue is immediate.
+    assert stream.slot_free_after(0.0, 1.0) == 0.0
+    # At budget: next issue waits for the earliest outstanding
+    # completion (t=0.5 here), not the latest.
+    assert stream.slot_free_after(0.0, 0.5) == 0.5
+    # The popped slot freed; the remaining in-flight completion is 1.0.
+    assert stream.slot_free_after(0.5, 2.0) == 1.0
+
+
+def test_iodepth_slot_accounting_with_think_time():
+    stream = JobStream(repeat(write(0, 4096)), iodepth=2, think_time=0.25)
+    assert stream.slot_free_after(0.0, 1.0) == 0.0   # under budget
+    assert stream.slot_free_after(0.0, 0.5) == 0.75  # 0.5 + think
+
+
+def test_sampler_clamped_sample_exactly_at_boundary():
+    sampler = _CaptureSampler()
+    # Latency 0.4 against a 1.0 window: issues at 0.0/0.4/0.8; the last
+    # completion (1.2) must be sampled at exactly the boundary.
+    run_streams(fixed_latency_issue(0.4), [repeat(write(0, 4096))],
+                duration=1.0, sampler=sampler)
+    assert sampler.times[-1] == pytest.approx(1.0)
+    assert all(t <= 1.0 for t in sampler.times)
+
+
+def test_equal_time_streams_issue_in_index_order():
+    # Streams tied on next_time must issue in add_stream order: the
+    # (time, index, stream) heap tuples break ties on the unique index.
+    order = []
+
+    def issue(req, now):
+        order.append(req.offset)
+        return now + 1.0
+
+    engine = Engine(issue)
+    for i in range(4):
+        engine.add_stream(JobStream(repeat(write(i, 4096), count=2),
+                                    name=f"s{i}"))
+    engine.run(duration=1.5)
+    assert order[:4] == [0, 1, 2, 3]
