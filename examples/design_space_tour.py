@@ -9,16 +9,15 @@ paper's §5.2 exploration.
 Run:  python examples/design_space_tour.py          (~2 min)
 """
 
-from repro import SrcConfig
-from repro.core.config import CleanRedundancy, FlushPoint, GcScheme
-from repro.harness.context import CACHE_SPACE, ExperimentScale, build_src
-from repro.workloads.replay import replay_group
+from repro.api import (CACHE_SPACE, CleanRedundancy, ExperimentScale,
+                       FlushPoint, GcScheme, ReclaimConfig, SrcConfig,
+                       build_src, replay_group)
 
 ES = ExperimentScale(scale=1 / 64, warmup=20.0, duration=6.0)
 
 VARIANTS = [
     ("paper defaults (Sel-GC, NPC, per-SG flush)", {}),
-    ("S2D-only GC", {"gc_scheme": GcScheme.S2D}),
+    ("S2D-only GC", {"reclaim": ReclaimConfig(gc_scheme=GcScheme.S2D)}),
     ("parity for clean data (PC)",
      {"clean_redundancy": CleanRedundancy.PC}),
     ("flush per segment", {"flush_point": FlushPoint.PER_SEGMENT}),

@@ -1,85 +1,79 @@
 #!/usr/bin/env python
-"""Quickstart: build an SRC cache over four simulated SSDs and use it.
+"""Quickstart: open an SRC array, carve tenant volumes, and use them.
 
 Builds the paper's platform at 1/64 scale — four preconditioned
-commodity SATA SSDs caching an iSCSI RAID-10 backend — pushes a small
-mixed workload through it, and prints the metrics the paper reports
-(throughput, I/O amplification, hit ratio) through the unified
-``repro.obs`` stats API, plus a peek at the GC event trace.
+commodity SATA SSDs caching an iSCSI RAID-10 backend — entirely
+through the stable :mod:`repro.api` surface: ``open_array`` builds the
+stack, ``create_volume`` carves per-tenant namespaces with QoS
+classes, ``volume.submit`` drives I/O, and ``array.stats()`` returns
+the unified stats document (device tree + per-tenant accounting).
 
 Run:  python examples/quickstart.py
 """
 
-import repro.obs as obs
-from repro import (PrimaryStorage, SATA_MLC_128, SSDDevice, SrcCache,
-                   SrcConfig, precondition)
-from repro.common.units import GIB, KIB, MIB, mb_per_sec
+from repro.api import (KIB, MIB, ObsRecorder, Op, QosSpec, Request,
+                       mb_per_sec, open_array, use)
 
 SCALE = 1 / 64
 
 
 def main() -> None:
-    # 0. An observability recorder: metrics, events and per-device
-    #    latency histograms for everything attached to it.
-    recorder = obs.ObsRecorder()
-
-    # 1. Four commodity SSDs, preconditioned to steady state (§5.1).
-    spec = SATA_MLC_128.scaled(SCALE)
-    ssds = [SSDDevice(spec, name=f"ssd{i}") for i in range(4)]
-    for ssd in ssds:
-        precondition(ssd, fill_fraction=0.985)
-
-    # 2. Primary storage: 8 disks in RAID-10 behind 1 Gbps iSCSI.
-    origin = PrimaryStorage()
-
-    # 3. SRC with the paper's defaults (Table 7), 18 GB cache window.
-    config = SrcConfig(cache_space=18 * GIB).scaled(SCALE)
-    cache = obs.attach(SrcCache(ssds, origin, config), recorder)
-    print(f"SRC ready: {cache.layout.groups} segment groups of "
+    # 1. The paper's platform in one call: preconditioned SSDs, the
+    #    RAID-10 origin, SRC with Table 7 defaults on top.  The `use`
+    #    context routes every event and histogram to one recorder.
+    recorder = ObsRecorder()
+    with use(recorder):
+        array = open_array(scale=SCALE)
+    config = array.config
+    print(f"SRC ready: {array.cache.layout.groups} segment groups of "
           f"{config.segment_group_size // MIB} MiB, segments of "
           f"{config.segment_size // KIB} KiB")
 
-    # 4. Drive some I/O: sequential writes, rewrites, then reads.
+    # 2. Two tenants: a guaranteed-share database and a best-effort
+    #    scratch volume, each a private LBA namespace over the array.
+    db = array.create_volume("db", size=48 * MIB,
+                             qos=QosSpec(min_share=0.25, name="gold"))
+    scratch = array.create_volume("scratch", size=48 * MIB,
+                                  qos=QosSpec(max_share=0.25,
+                                              name="best-effort"))
+
+    # 3. Drive some I/O: sequential writes, rewrites, then reads.
     now = 0.0
-    span = 64 * MIB
+    span = 32 * MIB
     for offset in range(0, span, 64 * KIB):
-        now = cache.write(offset, 64 * KIB, now)
+        now = db.submit(Request(Op.WRITE, offset, 64 * KIB), now)
+        now = scratch.submit(Request(Op.WRITE, offset, 64 * KIB), now)
     for offset in range(0, span // 2, 64 * KIB):      # hot rewrites
-        now = cache.write(offset, 64 * KIB, now)
+        now = db.submit(Request(Op.WRITE, offset, 64 * KIB), now)
     read_start = now
     for offset in range(0, span, 64 * KIB):           # read it back
-        now = cache.read(offset, 64 * KIB, now)
+        now = db.submit(Request(Op.READ, offset, 64 * KIB), now)
 
-    # 5. Report — all through the unified stats API: `collect` walks
-    #    the device tree into one nested dict of `as_dict()` snapshots.
-    tree = obs.collect(cache)
+    # 4. Report — one stats document for the whole stack.
+    tree = array.stats()
     app = tree["io"]
     print(f"\napplication I/O : {app['total_bytes'] // MIB} MiB "
           f"({app['write_ops']} writes, {app['read_ops']} reads)")
-    print(f"simulated time  : {now:.2f} s "
-          f"(reads at {mb_per_sec(app['read_bytes'], now - read_start):.0f} MB/s)")
+    print(f"simulated time  : {now:.2f} s (reads at "
+          f"{mb_per_sec(app['read_bytes'], now - read_start):.0f} MB/s)")
     print(f"hit ratio       : {tree['cache']['hit_ratio']:.2f}")
-    print(f"I/O amplification: {cache.io_amplification():.2f}")
-    print(f"cache utilization: {tree['utilization']:.2f}")
+    print(f"I/O amplification: {array.io_amplification():.2f}")
+    print(f"cache utilization: {array.utilization():.2f}")
     print(f"segment writes  : {tree['src']['segment_writes']} "
           f"({tree['src']['partial_segment_writes']} partial)")
-    print(f"mapping memory  : {cache.mapping.memory_bytes / 1024:.0f} KiB "
-          f"for {cache.mapping.valid_blocks()} blocks")
-    for i, ssd in enumerate(ssds):
-        sub = tree["children"][f"ssds[{i}]"]
-        print(f"  {ssd.name}: {sub['io']['write_bytes'] // MIB} MiB "
-              f"written, FTL write amplification "
-              f"{sub['ftl']['write_amplification']:.2f}")
+
+    # 5. Per-tenant accounting comes from the same document.
+    for name, doc in tree["tenants"]["tenants"].items():
+        lat = doc["latency"]
+        print(f"  tenant {name:<8}: {doc['cached_blocks']:>6} blocks "
+              f"cached (share {doc['share']:.2f}), "
+              f"p99 {lat['p99'] * 1e3:.2f} ms over {lat['count']} ops")
 
     # 6. The recorder saw every GC cycle, erase, seal and destage.
     counts = recorder.trace.counts()
     print("\nevent trace     : "
           + (", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
              or "no events"))
-    p99 = recorder.device_latency(cache.name)
-    if p99 is not None:
-        print(f"cache p99 latency: {p99.p99 * 1e3:.2f} ms "
-              f"over {p99.count} requests")
 
 
 if __name__ == "__main__":

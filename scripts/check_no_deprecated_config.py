@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""CI guard: the library must not use deprecated config spellings.
+
+Run as ``python -W error::DeprecationWarning scripts/...`` so any flat
+``SrcConfig`` kwarg or read-through attribute access anywhere on these
+paths raises instead of warning.  The guard exercises the public
+surface end to end — import the facade, build every stack, drive
+tenant volumes, harvest stats — rather than grepping for patterns, so
+it catches deprecated usage in code paths, not just source text.
+
+The tier-1 pytest run cannot do this job: the suite intentionally
+*tests* the deprecation shims, so it must run with warnings allowed.
+"""
+
+import sys
+import warnings
+
+
+def main() -> int:
+    if not any(f[0] == "error" and f[2] is DeprecationWarning
+               for f in warnings.filters):
+        print("re-run with -W error::DeprecationWarning", file=sys.stderr)
+        return 2
+
+    # The whole facade imports cleanly (module-level config reads
+    # would trip here).
+    import repro
+    from repro.api import (CACHE_SPACE, EXPERIMENTS, MIB, Op, QosConfig,
+                           QosSpec, ReclaimConfig, Request, SrcConfig,
+                           build_bcache, build_flashcache, build_src,
+                           collect, open_array)
+    for name in repro.__all__:
+        getattr(repro, name)
+
+    # Nested construction, scaling, round-trip: all warning-free.
+    config = SrcConfig(cache_space=CACHE_SPACE,
+                       reclaim=ReclaimConfig(u_max=0.85),
+                       qos=QosConfig())
+    assert SrcConfig.from_dict(config.as_dict()) == config
+    config.scaled(1 / 4)
+
+    # Every builder constructs and serves I/O without touching a
+    # deprecated read-through property.
+    scale = 1 / 64
+    build_bcache(scale)
+    build_flashcache(scale)
+    cache = build_src(scale, config)
+    now = cache.submit(Request(Op.WRITE, 0, 4096), 0.0)
+    cache.submit(Request(Op.READ, 0, 4096), now)
+    collect(cache)
+
+    # The tenancy layer end to end: volumes, QoS throttling, admission,
+    # stats — the new subsystem must be born clean.
+    array = open_array(config, scale=scale)
+    vol = array.create_volume("t", size=4 * MIB,
+                              qos=QosSpec(min_share=0.1, max_share=0.2,
+                                          max_write_mb_s=1.0))
+    now = 0.0
+    for offset in range(0, 2 * MIB, 4096):
+        now = vol.submit(Request(Op.WRITE, offset, 4096), now)
+    array.stats()
+
+    # Experiment modules import clean (their module-level config
+    # construction is where flat kwargs historically hid).
+    import importlib
+    for module_name, _ in EXPERIMENTS.values():
+        importlib.import_module(module_name)
+
+    print("deprecation guard: all public paths clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

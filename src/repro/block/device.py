@@ -124,7 +124,7 @@ class LinearDevice(BlockDevice):
         if req.op is Op.FLUSH:
             return self.lower.submit(req, now)
         shifted = Request(req.op, req.offset + self.start, req.length,
-                          fua=req.fua, origin=req.origin)
+                          fua=req.fua, origin=req.origin, tenant=req.tenant)
         return self.lower.submit(shifted, now)
 
 

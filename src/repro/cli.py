@@ -4,7 +4,9 @@ Commands
 --------
 experiments              list the reproducible tables/figures
 run <exp-id> [...]       run experiments; ``--format json`` adds telemetry,
-                         ``--jobs N`` fans sweep points over N processes
+                         ``--jobs N`` fans sweep points over N processes;
+                         exits 1 if a result records acceptance
+                         ``violation:`` notes (e.g. ``run tenants``)
 trace <exp-id>           run one experiment and dump its event trace
 report [out.md]          run everything, write the experiments report
 replay <group>           replay a trace group against a chosen target
@@ -24,35 +26,12 @@ flags override.
 from __future__ import annotations
 
 import argparse
-import importlib
-import inspect
 import sys
 from dataclasses import replace
 
-from repro.common.errors import ReproError
-from repro.harness.context import DEFAULT_SCALE, QUICK_SCALE, ExperimentScale
-
-EXPERIMENTS = {
-    "table2": ("repro.harness.exp_table2", "WT vs WB, single SSD"),
-    "table3": ("repro.harness.exp_table3", "flush command impact"),
-    "fig1": ("repro.harness.exp_fig1", "caches over RAID levels"),
-    "fig2": ("repro.harness.exp_fig2", "erase group size"),
-    "fig4": ("repro.harness.exp_fig4", "SRC vs erase group size"),
-    "table8": ("repro.harness.exp_table8", "free space management"),
-    "fig5": ("repro.harness.exp_fig5", "UMAX sweep"),
-    "table9": ("repro.harness.exp_table9", "PC vs NPC"),
-    "table10": ("repro.harness.exp_table10", "SRC RAID level"),
-    "table11": ("repro.harness.exp_table11", "flush control"),
-    "fig6": ("repro.harness.exp_fig6", "cost-effectiveness"),
-    "fig7": ("repro.harness.exp_fig7", "SRC vs existing solutions"),
-    "table6": ("repro.harness.exp_table6", "trace characteristics"),
-    "tables4-12": ("repro.harness.exp_tables4_12", "product sheets"),
-    "ablation": ("repro.harness.exp_ablation", "design ablations"),
-    "writeboost": ("repro.harness.exp_writeboost",
-                   "supplementary: SRC vs DM-Writeboost lineage"),
-    "latency": ("repro.harness.exp_latency",
-                "supplementary: latency percentiles per scheme"),
-}
+from repro.api import (DEFAULT_SCALE, EXPERIMENTS, QUICK_SCALE,
+                       ExperimentScale, ReproError, result_violations,
+                       run_experiment)
 
 # Sampling cadence (simulated seconds) for ``--format json`` telemetry.
 SAMPLE_INTERVAL = 0.25
@@ -107,23 +86,6 @@ def cmd_experiments(_args) -> int:
     return 0
 
 
-def _run_one(exp_id: str, es: ExperimentScale, jobs: int = 1):
-    """Run one experiment id, returning ExperimentResult(s).
-
-    ``jobs`` fans independent sweep points out over a process pool for
-    the experiments whose ``run`` accepts it (fig2/fig4/fig5 and any
-    future sweep); others run serially regardless — results are
-    identical either way (see repro.harness.parallel).
-    """
-    module_name, _ = EXPERIMENTS[exp_id]
-    module = importlib.import_module(module_name)
-    if exp_id == "tables4-12":
-        return [module.run_table4(), module.run_table12()]
-    if jobs != 1 and "jobs" in inspect.signature(module.run).parameters:
-        return [module.run(es, jobs=jobs)]
-    return [module.run(es)]
-
-
 def cmd_run(args) -> int:
     unknown = [e for e in args.experiments if e not in EXPERIMENTS]
     if unknown:
@@ -131,25 +93,28 @@ def cmd_run(args) -> int:
               f"see 'python -m repro experiments'", file=sys.stderr)
         return 2
     es = _scale_from(args)
+    failed = False
 
     if args.format == "table":
         first = True
         for exp_id in args.experiments:
-            for result in _run_one(exp_id, es, jobs=args.jobs):
+            for result in run_experiment(exp_id, es, jobs=args.jobs):
                 if not first:
                     print()
                 print(result.render())
                 first = False
-        return 0
+                failed = failed or bool(result_violations(result))
+        return 1 if failed else 0
 
     # --format json: observe each experiment with its own recorder so
     # telemetry (per-device latency, GC events, samples) is per-run.
-    from repro.obs import ObsRecorder, to_json, use
+    from repro.api import ObsRecorder, to_json, use
     payloads = []
     for exp_id in args.experiments:
         recorder = ObsRecorder(sample_interval=SAMPLE_INTERVAL)
         with use(recorder):
-            results = _run_one(exp_id, es, jobs=args.jobs)
+            results = run_experiment(exp_id, es, jobs=args.jobs)
+        failed = failed or any(result_violations(r) for r in results)
         payloads.append({
             "id": exp_id,
             "results": [r.as_dict() for r in results],
@@ -157,7 +122,7 @@ def cmd_run(args) -> int:
         })
     out = payloads[0] if len(payloads) == 1 else payloads
     print(to_json(out))
-    return 0
+    return 1 if failed else 0
 
 
 def cmd_trace(args) -> int:
@@ -165,11 +130,11 @@ def cmd_trace(args) -> int:
         print(f"unknown experiment {args.experiment!r}; see "
               f"'python -m repro experiments'", file=sys.stderr)
         return 2
-    from repro.obs import ObsRecorder, events_to_csv, use
+    from repro.api import ObsRecorder, events_to_csv, use
     es = _scale_from(args)
     recorder = ObsRecorder()
     with use(recorder):
-        _run_one(args.experiment, es)
+        run_experiment(args.experiment, es)
 
     events = recorder.trace.events
     if args.type:
@@ -198,18 +163,16 @@ def cmd_trace(args) -> int:
 
 
 def cmd_report(args) -> int:
-    from repro.harness.report import generate
+    from repro.api import generate_report
     label = " (--quick preset)" if args.quick else ""
-    generate(_scale_from(args), args.output, quick_label=label)
+    generate_report(_scale_from(args), args.output, quick_label=label)
     return 0
 
 
 def cmd_replay(args) -> int:
-    from repro.baselines.common import WritePolicy
-    from repro.core.config import SrcConfig
-    from repro.harness.context import (CACHE_SPACE, build_bcache,
-                                       build_flashcache, build_src)
-    from repro.workloads.replay import replay_group
+    from repro.api import (CACHE_SPACE, SrcConfig, WritePolicy,
+                           build_bcache, build_flashcache, build_src,
+                           replay_group)
     es = _scale_from(args)
     builders = {
         "src": lambda: build_src(es.scale,
@@ -226,7 +189,7 @@ def cmd_replay(args) -> int:
               f"(src | bcache5 | flashcache5)", file=sys.stderr)
         return 2
     if args.format == "json":
-        from repro.obs import ObsRecorder, collect, to_json, use
+        from repro.api import ObsRecorder, collect, to_json, use
         recorder = ObsRecorder(sample_interval=SAMPLE_INTERVAL)
         with use(recorder):
             target = builders[args.target]()
@@ -252,13 +215,13 @@ def cmd_replay(args) -> int:
 
 
 def cmd_faults(args) -> int:
-    from repro.harness import exp_faults
+    from repro.api import run_faults
     es = _scale_from(args)
     if args.format == "json":
-        from repro.obs import ObsRecorder, to_json, use
+        from repro.api import ObsRecorder, to_json, use
         recorder = ObsRecorder(sample_interval=SAMPLE_INTERVAL)
         with use(recorder):
-            result = exp_faults.run(
+            result = run_faults(
                 es, seeds=args.seeds, points=args.points,
                 demonstrate_break=args.demonstrate_break)
         print(to_json({
@@ -267,7 +230,7 @@ def cmd_faults(args) -> int:
             "telemetry": recorder.telemetry(),
         }))
     else:
-        result = exp_faults.run(
+        result = run_faults(
             es, seeds=args.seeds, points=args.points,
             demonstrate_break=args.demonstrate_break)
         print(result.render())
@@ -276,29 +239,29 @@ def cmd_faults(args) -> int:
 
 
 def cmd_rebuild(args) -> int:
-    from repro.harness import exp_rebuild
+    from repro.api import run_rebuild
     es = _scale_from(args)
     if args.format == "json":
-        from repro.obs import ObsRecorder, to_json, use
+        from repro.api import ObsRecorder, to_json, use
         recorder = ObsRecorder(sample_interval=SAMPLE_INTERVAL)
         with use(recorder):
-            result = exp_rebuild.run(es)
+            result = run_rebuild(es)
         print(to_json({
             "id": "rebuild",
             "results": [result.as_dict()],
             "telemetry": recorder.telemetry(),
         }))
     else:
-        result = exp_rebuild.run(es)
+        result = run_rebuild(es)
         print(result.render())
-    return 1 if exp_rebuild.violations(result) else 0
+    return 1 if result_violations(result) else 0
 
 
 def cmd_export_trace(args) -> int:
-    from repro.workloads.trace_io import export_synthetic
+    from repro.api import export_synthetic_trace
     with open(args.output, "w", encoding="utf-8") as sink:
-        count = export_synthetic(args.trace, args.requests, sink,
-                                 scale=args.scale, seed=args.seed)
+        count = export_synthetic_trace(args.trace, args.requests, sink,
+                                       scale=args.scale, seed=args.seed)
     print(f"wrote {count} records to {args.output}")
     return 0
 

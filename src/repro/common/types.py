@@ -47,18 +47,21 @@ class Request:
     zero length.  ``origin`` attributes the request to foreground work
     or one of the background services (GC, destage, rebuild); layers
     that transform a request must propagate it to the sub-requests they
-    issue so per-device attribution stays truthful.
+    issue so per-device attribution stays truthful.  ``tenant`` names
+    the owning tenant on multi-tenant stacks (:mod:`repro.tenancy`);
+    ``None`` means untagged single-tenant traffic.
 
     Plain ``__slots__`` class rather than a dataclass: millions of
     Requests are allocated per run, and dropping the per-instance
     ``__dict__`` measurably cuts both allocation time and memory.
     """
 
-    __slots__ = ("op", "offset", "length", "fua", "origin")
+    __slots__ = ("op", "offset", "length", "fua", "origin", "tenant")
 
     def __init__(self, op: Op, offset: int = 0, length: int = 0,
                  fua: bool = False,
-                 origin: IoOrigin = IoOrigin.FOREGROUND):
+                 origin: IoOrigin = IoOrigin.FOREGROUND,
+                 tenant: "str | None" = None):
         if offset < 0 or length < 0:
             raise ValueError(
                 f"negative offset/length: {op} offset={offset} "
@@ -70,18 +73,21 @@ class Request:
         self.length = length
         self.fua = fua
         self.origin = origin
+        self.tenant = tenant
 
     def __repr__(self) -> str:
+        tenant = f", tenant={self.tenant!r}" if self.tenant else ""
         return (f"Request(op={self.op!r}, offset={self.offset}, "
                 f"length={self.length}, fua={self.fua}, "
-                f"origin={self.origin!r})")
+                f"origin={self.origin!r}{tenant})")
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Request):
             return NotImplemented
         return (self.op is other.op and self.offset == other.offset
                 and self.length == other.length and self.fua == other.fua
-                and self.origin is other.origin)
+                and self.origin is other.origin
+                and self.tenant == other.tenant)
 
     @property
     def end(self) -> int:

@@ -20,7 +20,15 @@ from repro.common.errors import ConfigError
 
 
 class SegmentBuffer:
-    """An in-RAM accumulation buffer for one class of data."""
+    """An in-RAM accumulation buffer for one class of data.
+
+    ``observer`` (optional; duck-typed with ``block_cached(lba)`` /
+    ``block_evicted(lba)``) is notified on real membership changes.
+    ``drain`` fires ``block_evicted`` per block: drained blocks are
+    immediately re-inserted into the mapping table by the segment
+    writer, whose own ``block_cached`` nets the count back out — so an
+    observer tracking (mapping ∪ buffers) membership stays exact.
+    """
 
     def __init__(self, capacity_blocks: int, dirty: bool, name: str):
         if capacity_blocks <= 0:
@@ -30,6 +38,7 @@ class SegmentBuffer:
         self.name = name
         self._order: List[int] = []
         self._present: Dict[int, int] = {}   # lba -> position in _order
+        self.observer = None
 
     def __len__(self) -> int:
         return len(self._order)
@@ -58,6 +67,8 @@ class SegmentBuffer:
             raise ConfigError(f"{self.name} buffer overfull")
         self._present[lba] = len(self._order)
         self._order.append(lba)
+        if self.observer is not None:
+            self.observer.block_cached(lba)
         return self.full
 
     def remove(self, lba: int) -> bool:
@@ -66,6 +77,8 @@ class SegmentBuffer:
             return False
         del self._present[lba]
         self._order.remove(lba)
+        if self.observer is not None:
+            self.observer.block_evicted(lba)
         return True
 
     def drain(self) -> List[int]:
@@ -73,6 +86,9 @@ class SegmentBuffer:
         blocks = self._order
         self._order = []
         self._present = {}
+        if self.observer is not None:
+            for lba in blocks:
+                self.observer.block_evicted(lba)
         return blocks
 
     def peek(self) -> List[int]:

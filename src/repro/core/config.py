@@ -3,12 +3,29 @@
 Defaults match the bold entries of the paper's Table 7: 256 MB erase
 group, Sel-GC with UMAX 90%, FIFO victim selection, no parity for clean
 data (NPC), RAID-5, flush per Segment Group.
+
+The configuration is split into policy groups, each a frozen dataclass:
+
+* structural geometry knobs live directly on :class:`SrcConfig`
+  (``n_ssds``, ``erase_group_size``, ``segment_unit``, ``raid_level``,
+  ``clean_redundancy``, ``flush_point``, ``t_wait``, ``cache_space``);
+* :class:`ReclaimConfig` — free-space reclamation (§4.2);
+* :class:`FaultConfig` — retry/fail-slow/bypass resilience policies;
+* :class:`RepairConfig` — hot spares, rebuild and scrub scheduling;
+* :class:`QosConfig` — multi-tenant share enforcement
+  (:mod:`repro.tenancy`).
+
+The old flat keyword arguments (``SrcConfig(u_max=0.85)``) still work
+but emit a :class:`DeprecationWarning`; see ``docs/extending.md`` for
+the migration table.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+import warnings
+from dataclasses import MISSING, dataclass, field, fields, replace
+from typing import Dict
 
 from repro.common.errors import ConfigError
 from repro.common.units import KIB, MIB, PAGE_SIZE
@@ -38,27 +55,21 @@ class FlushPoint(enum.Enum):
     PER_SEGMENT_GROUP = "per-segment-group"
 
 
-@dataclass(frozen=True)
-class SrcConfig:
-    """Tunable parameters of an SRC cache instance (Table 7)."""
+def _enum_out(value):
+    return value.value if isinstance(value, enum.Enum) else value
 
-    n_ssds: int = 4
-    erase_group_size: int = 256 * MIB   # per-SSD; SG size = n_ssds * this
-    segment_unit: int = 512 * KIB       # per-SSD share of one segment
+
+def _enum_in(kind, value):
+    return kind(value) if not isinstance(value, kind) else value
+
+
+@dataclass(frozen=True)
+class ReclaimConfig:
+    """Free-space reclamation policy (paper §4.2)."""
+
     gc_scheme: GcScheme = GcScheme.SEL_GC
     u_max: float = 0.90                 # Sel-GC S2S/S2D utilization bound
     victim_policy: VictimPolicy = VictimPolicy.FIFO
-    clean_redundancy: CleanRedundancy = CleanRedundancy.NPC
-    raid_level: int = 5                 # 0, 4 or 5 at the cache level
-    flush_point: FlushPoint = FlushPoint.PER_SEGMENT_GROUP
-    # Partial-segment timeout.  §4.1 quotes 20 microseconds, but at that
-    # value every write whose predecessor is more than 20 us away would
-    # burn a whole segment slot on a partial write — pathological for
-    # any workload below full write saturation.  We default to 10 ms,
-    # which preserves the durability intent (dirty data never lingers
-    # unpersisted) without the slot-burn artefact.
-    t_wait: float = 10e-3
-    cache_space: int = 0                # bytes of cache space to use (0=all)
     gc_free_low: int = 2                # SGs: reclaim below this many free
     gc_free_high: int = 4               # SGs: reclaim up to this many free
     # Background reclaim (§4.2): GC/destage I/O overlaps with foreground
@@ -71,8 +82,33 @@ class SrcConfig:
     hotness_aware: bool = True          # ablation: False copies all clean
                                         # data in S2S instead of hot only
 
-    # Resilience policies (§4.1 failure handling, extended by the
-    # repro.faults subsystem; see docs/fault_model.md).
+    def __post_init__(self) -> None:
+        if not 0.0 < self.u_max <= 1.0:
+            raise ConfigError(f"u_max must be in (0,1], got {self.u_max}")
+        if self.gc_free_high < self.gc_free_low:
+            raise ConfigError("gc_free_high must be >= gc_free_low")
+
+    def as_dict(self) -> dict:
+        return {f.name: _enum_out(getattr(self, f.name))
+                for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReclaimConfig":
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        if "gc_scheme" in kwargs:
+            kwargs["gc_scheme"] = _enum_in(GcScheme, kwargs["gc_scheme"])
+        if "victim_policy" in kwargs:
+            kwargs["victim_policy"] = _enum_in(VictimPolicy,
+                                               kwargs["victim_policy"])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Resilience policies (§4.1 failure handling, extended by the
+    repro.faults subsystem; see docs/fault_model.md)."""
+
     retry_attempts: int = 4             # total tries per SSD request
     retry_backoff: float = 200e-6       # first-retry delay, doubled after
     retry_timeout: float = 50e-3        # per-request retry budget (s)
@@ -83,30 +119,7 @@ class SrcConfig:
                                         # on why FLUSH gets its own window)
     bypass_on_failure: bool = True      # origin-bypass when array is lost
 
-    # Online repair (repro.repair; docs/fault_model.md).
-    hot_spares: int = 0                 # spare SSDs attachable on failure
-    rebuild_rate: float = 64 * MIB      # rebuild bytes/s budget; 0 = unlimited
-    rebuild_fg_p99: float = 0.0         # pause rebuild while the foreground
-                                        # rolling p99 exceeds this (s); 0 off
-    scrub_interval: float = 0.0         # seconds between scrub passes; 0 off
-    scrub_rate: float = 0.0             # scrub bytes/s budget; 0 = unlimited
-
     def __post_init__(self) -> None:
-        if self.n_ssds < 1:
-            raise ConfigError("need at least one SSD")
-        if self.raid_level not in (0, 4, 5):
-            raise ConfigError(f"unsupported cache RAID level {self.raid_level}")
-        if self.raid_level in (4, 5) and self.n_ssds < 3:
-            raise ConfigError("parity RAID needs >= 3 SSDs")
-        if not 0.0 < self.u_max <= 1.0:
-            raise ConfigError(f"u_max must be in (0,1], got {self.u_max}")
-        if self.erase_group_size % self.segment_unit:
-            raise ConfigError("erase group must be a multiple of the "
-                              "segment unit")
-        if self.segment_unit % PAGE_SIZE:
-            raise ConfigError("segment unit must be 4 KiB aligned")
-        if self.gc_free_high < self.gc_free_low:
-            raise ConfigError("gc_free_high must be >= gc_free_low")
         if self.retry_attempts < 1:
             raise ConfigError("retry_attempts must be >= 1")
         if self.retry_backoff < 0 or self.retry_timeout <= 0:
@@ -118,6 +131,28 @@ class SrcConfig:
             raise ConfigError("failslow_window must be >= 2")
         if self.failslow_flush_p99 < 0:
             raise ConfigError("failslow_flush_p99 must be >= 0 (0 disables)")
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultConfig":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass(frozen=True)
+class RepairConfig:
+    """Online repair (repro.repair; docs/fault_model.md)."""
+
+    hot_spares: int = 0                 # spare SSDs attachable on failure
+    rebuild_rate: float = 64 * MIB      # rebuild bytes/s budget; 0 = unlimited
+    rebuild_fg_p99: float = 0.0         # pause rebuild while the foreground
+                                        # rolling p99 exceeds this (s); 0 off
+    scrub_interval: float = 0.0         # seconds between scrub passes; 0 off
+    scrub_rate: float = 0.0             # scrub bytes/s budget; 0 = unlimited
+
+    def __post_init__(self) -> None:
         if self.hot_spares < 0:
             raise ConfigError("hot_spares must be >= 0")
         if self.rebuild_rate < 0 or self.scrub_rate < 0:
@@ -126,6 +161,186 @@ class SrcConfig:
         if self.rebuild_fg_p99 < 0 or self.scrub_interval < 0:
             raise ConfigError("rebuild_fg_p99 and scrub_interval must be "
                               ">= 0 (0 disables)")
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RepairConfig":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass(frozen=True)
+class QosConfig:
+    """Multi-tenant quality-of-service policy (:mod:`repro.tenancy`).
+
+    Shares are fractions of the cache's data capacity.  A tenant's
+    ``min_share`` is a reservation: admissions below it always succeed.
+    ``max_share`` is a hard cap.  Between the two, admission depends on
+    ``work_conserving``: when True a tenant may borrow capacity that no
+    reservation is waiting on; when False tenants are strictly
+    partitioned at their reservations.
+    """
+
+    enforce_shares: bool = True         # partition min/max occupancy shares
+    work_conserving: bool = True        # borrow idle unreserved capacity
+    default_min_share: float = 0.0      # reservation for unspecced tenants
+    default_max_share: float = 1.0      # cap for unspecced tenants
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.default_min_share <= 1.0:
+            raise ConfigError("default_min_share must be in [0,1]")
+        if not 0.0 <= self.default_max_share <= 1.0:
+            raise ConfigError("default_max_share must be in [0,1]")
+        if self.default_min_share > self.default_max_share:
+            raise ConfigError("default_min_share must be <= "
+                              "default_max_share")
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QosConfig":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+# Deprecated flat SrcConfig kwargs -> the nested group that owns them.
+_FLAT_KWARGS: Dict[str, str] = {}
+for _group_name, _group_cls in (("reclaim", ReclaimConfig),
+                                ("faults", FaultConfig),
+                                ("repair", RepairConfig),
+                                ("qos", QosConfig)):
+    for _f in fields(_group_cls):
+        _FLAT_KWARGS[_f.name] = _group_name
+
+_GROUP_NAMES = ("reclaim", "faults", "repair", "qos")
+
+
+@dataclass(frozen=True, init=False)
+class SrcConfig:
+    """Tunable parameters of an SRC cache instance (Table 7).
+
+    Structural geometry lives here; policy knobs are grouped into the
+    nested ``reclaim``, ``faults``, ``repair`` and ``qos`` dataclasses.
+    The constructor still accepts the pre-split flat keyword arguments
+    (``SrcConfig(u_max=0.85)``) for compatibility, routing them into
+    the owning group with a :class:`DeprecationWarning`.
+    """
+
+    n_ssds: int = 4
+    erase_group_size: int = 256 * MIB   # per-SSD; SG size = n_ssds * this
+    segment_unit: int = 512 * KIB       # per-SSD share of one segment
+    clean_redundancy: CleanRedundancy = CleanRedundancy.NPC
+    raid_level: int = 5                 # 0, 4 or 5 at the cache level
+    flush_point: FlushPoint = FlushPoint.PER_SEGMENT_GROUP
+    # Partial-segment timeout.  §4.1 quotes 20 microseconds, but at that
+    # value every write whose predecessor is more than 20 us away would
+    # burn a whole segment slot on a partial write — pathological for
+    # any workload below full write saturation.  We default to 10 ms,
+    # which preserves the durability intent (dirty data never lingers
+    # unpersisted) without the slot-burn artefact.
+    t_wait: float = 10e-3
+    cache_space: int = 0                # bytes of cache space to use (0=all)
+    reclaim: ReclaimConfig = field(default_factory=ReclaimConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
+    repair: RepairConfig = field(default_factory=RepairConfig)
+    qos: QosConfig = field(default_factory=QosConfig)
+
+    def __init__(self, **kwargs):
+        # Route deprecated flat kwargs into the group that owns them.
+        flat: Dict[str, dict] = {}
+        deprecated = [name for name in kwargs if name in _FLAT_KWARGS]
+        if deprecated:
+            warnings.warn(
+                "flat SrcConfig kwarg(s) "
+                f"{', '.join(sorted(deprecated))} are deprecated; pass "
+                "nested reclaim=ReclaimConfig(...)/faults=FaultConfig(...)"
+                "/repair=RepairConfig(...)/qos=QosConfig(...) groups "
+                "instead (docs/extending.md)",
+                DeprecationWarning, stacklevel=2)
+            for name in deprecated:
+                flat.setdefault(_FLAT_KWARGS[name], {})[name] = \
+                    kwargs.pop(name)
+        for f in fields(type(self)):
+            if f.name in kwargs:
+                value = kwargs.pop(f.name)
+            elif f.default is not MISSING:
+                value = f.default
+            else:
+                value = f.default_factory()
+            if f.name in flat:
+                value = replace(value, **flat[f.name])
+            object.__setattr__(self, f.name, value)
+        if kwargs:
+            unexpected = ", ".join(sorted(kwargs))
+            raise TypeError(
+                f"SrcConfig got unexpected keyword argument(s): {unexpected}")
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.n_ssds < 1:
+            raise ConfigError("need at least one SSD")
+        if self.raid_level not in (0, 4, 5):
+            raise ConfigError(f"unsupported cache RAID level {self.raid_level}")
+        if self.raid_level in (4, 5) and self.n_ssds < 3:
+            raise ConfigError("parity RAID needs >= 3 SSDs")
+        if self.erase_group_size % self.segment_unit:
+            raise ConfigError("erase group must be a multiple of the "
+                              "segment unit")
+        if self.segment_unit % PAGE_SIZE:
+            raise ConfigError("segment unit must be 4 KiB aligned")
+
+    # Deprecated flat read-through accessors -------------------------
+    # Each pre-split flat field keeps working as a property so stacks
+    # built against the old surface read the same values; the warning
+    # (and the CI -W error::DeprecationWarning guard) steers new code
+    # to the nested groups.
+    def _flat_read(self, name: str):
+        warnings.warn(
+            f"SrcConfig.{name} is deprecated; read "
+            f"SrcConfig.{_FLAT_KWARGS[name]}.{name} instead "
+            "(docs/extending.md)",
+            DeprecationWarning, stacklevel=3)
+        return getattr(getattr(self, _FLAT_KWARGS[name]), name)
+
+    # Serialization --------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON-ready nested form; round-trips through :meth:`from_dict`."""
+        data = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name in _GROUP_NAMES:
+                data[f.name] = value.as_dict()
+            else:
+                data[f.name] = _enum_out(value)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SrcConfig":
+        """Rebuild a config from :meth:`as_dict` output.
+
+        Flat (pre-split) documents are also accepted: any known flat
+        key outside a group dict is routed through the constructor's
+        compatibility shim (with its deprecation warning).
+        """
+        groups = {"reclaim": ReclaimConfig, "faults": FaultConfig,
+                  "repair": RepairConfig, "qos": QosConfig}
+        known = {f.name for f in fields(cls)}
+        kwargs: dict = {}
+        for key, value in data.items():
+            if key in groups and isinstance(value, dict):
+                kwargs[key] = groups[key].from_dict(value)
+            elif key in known or key in _FLAT_KWARGS:
+                kwargs[key] = value
+        if "clean_redundancy" in kwargs:
+            kwargs["clean_redundancy"] = _enum_in(
+                CleanRedundancy, kwargs["clean_redundancy"])
+        if "flush_point" in kwargs:
+            kwargs["flush_point"] = _enum_in(FlushPoint,
+                                             kwargs["flush_point"])
+        return cls(**kwargs)
 
     # Geometry (paper §4.1, in the M = 4, S = 128 GB context) ----------
     @property
@@ -156,7 +371,6 @@ class SrcConfig:
             scaled_val = max(floor, int(nbytes * factor))
             return scaled_val - scaled_val % floor
 
-        from dataclasses import replace
         # The segment unit is floored at 256 KiB so metadata overhead
         # (2 blocks of MS/ME per unit) stays near the paper's ~1.6%
         # rather than ballooning at small scales.
@@ -169,3 +383,12 @@ class SrcConfig:
             cache_space=scale(self.cache_space, 4 * KIB)
             if self.cache_space else 0,
         )
+
+
+def _install_flat_properties() -> None:
+    for _name in _FLAT_KWARGS:
+        setattr(SrcConfig, _name, property(
+            lambda self, _n=_name: self._flat_read(_n)))
+
+
+_install_flat_properties()

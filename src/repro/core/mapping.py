@@ -25,7 +25,15 @@ class CacheEntry:
 
 
 class MappingTable:
-    """LBA -> cache-location map plus per-SG reverse indexes."""
+    """LBA -> cache-location map plus per-SG reverse indexes.
+
+    ``observer`` (optional; duck-typed with ``block_cached(lba)`` /
+    ``block_evicted(lba)``) is notified on every real membership change
+    — an insert that adds a new LBA, an invalidate that removes one.
+    Re-inserting a mapped LBA fires evicted-then-cached (the insert
+    invalidates first), so an observer counting membership nets zero.
+    The tenancy layer uses this for exact per-tenant occupancy.
+    """
 
     def __init__(self, n_groups: int):
         self._map: Dict[int, CacheEntry] = {}
@@ -33,6 +41,7 @@ class MappingTable:
             {} for _ in range(n_groups)
         ]
         self.dirty_count = 0
+        self.observer = None
 
     # ------------------------------------------------------------------
     def lookup(self, lba: int) -> Optional[CacheEntry]:
@@ -55,6 +64,8 @@ class MappingTable:
         self._per_sg[entry.location.sg][self._key(entry.location)] = lba
         if entry.dirty:
             self.dirty_count += 1
+        if self.observer is not None:
+            self.observer.block_cached(lba)
 
     def invalidate(self, lba: int) -> Optional[CacheEntry]:
         """Drop the mapping for ``lba`` (returns the old entry if any)."""
@@ -64,6 +75,8 @@ class MappingTable:
         self._per_sg[entry.location.sg].pop(self._key(entry.location), None)
         if entry.dirty:
             self.dirty_count -= 1
+        if self.observer is not None:
+            self.observer.block_evicted(lba)
         return entry
 
     def mark_clean(self, lba: int) -> None:

@@ -60,6 +60,7 @@ class SrcStats:
     gc_copied_blocks: int = 0
     gc_destaged_blocks: int = 0
     gc_dropped_clean: int = 0
+    gc_reserved_copies: int = 0
     flush_commands: int = 0
     background_reclaims: int = 0
     throttle_stalls: int = 0
@@ -165,25 +166,30 @@ class SrcCache(CacheTarget):
         # Resilience policies (docs/fault_model.md).
         self.bypass = False
         self._retry_policy = RetryPolicy(
-            max_attempts=config.retry_attempts,
-            backoff=config.retry_backoff,
-            timeout=config.retry_timeout)
+            max_attempts=config.faults.retry_attempts,
+            backoff=config.faults.retry_backoff,
+            timeout=config.faults.retry_timeout)
         self.failslow: Optional[FailSlowDetector] = (
-            FailSlowDetector(config.failslow_p99,
-                             window=config.failslow_window,
-                             min_samples=min(64, config.failslow_window))
-            if config.failslow_p99 > 0 else None)
+            FailSlowDetector(config.faults.failslow_p99,
+                             window=config.faults.failslow_window,
+                             min_samples=min(64, config.faults.failslow_window))
+            if config.faults.failslow_p99 > 0 else None)
         # FLUSH latencies get their own detector: flushes are rare and
         # orders of magnitude slower than reads/writes, so mixing them
         # into the per-op window would drown both signals
         # (docs/fault_model.md).
         self.flush_failslow: Optional[FailSlowDetector] = (
-            FailSlowDetector(config.failslow_flush_p99,
+            FailSlowDetector(config.faults.failslow_flush_p99,
                              window=32, min_samples=8)
-            if config.failslow_flush_p99 > 0 else None)
+            if config.faults.failslow_flush_p99 > 0 else None)
         # Online repair: health state machine, hot spares, rebuild and
         # scrub scheduling (repro.repair; docs/fault_model.md).
         self.repair = RepairController(self, spares)
+
+        # Multi-tenant control plane (repro.tenancy.TenantRegistry
+        # installs itself here; None = single-tenant, zero overhead).
+        self.tenants = None
+        self._active_tenant: Optional[str] = None
 
         if self.metadata.superblock is None:
             self.metadata.format(Superblock(
@@ -278,7 +284,7 @@ class SrcCache(CacheTarget):
                 self.obs.emit(DeviceLimping(
                     t=end, device=ssd.name,
                     p99=self.failslow.p99(idx) or 0.0,
-                    threshold=self.config.failslow_p99))
+                    threshold=self.config.faults.failslow_p99))
             self._convert_fail_stop(idx, end)
         elif (self.flush_failslow is not None and req.op is Op.FLUSH
                 and self.flush_failslow.observe(idx, end - now)):
@@ -289,7 +295,7 @@ class SrcCache(CacheTarget):
                 self.obs.emit(DeviceLimping(
                     t=end, device=ssd.name,
                     p99=self.flush_failslow.p99(idx) or 0.0,
-                    threshold=self.config.failslow_flush_p99))
+                    threshold=self.config.faults.failslow_flush_p99))
             self._convert_fail_stop(idx, end)
         return end
 
@@ -318,7 +324,7 @@ class SrcCache(CacheTarget):
         until its job completes), so with one spare attached a parity
         array keeps serving instead of declaring the cache lost.
         """
-        if self.bypass or not self.config.bypass_on_failure:
+        if self.bypass or not self.config.faults.bypass_on_failure:
             return
         missing = self.repair.missing_members()
         tolerated = 1 if self.config.raid_level in (4, 5) else 0
@@ -347,10 +353,13 @@ class SrcCache(CacheTarget):
         """Service with graceful degradation: an array-loss error flips
         SRC into origin-bypass and the request is re-served from the
         origin instead of surfacing the failure to the application."""
+        # Attribute any reclaim/backpressure stall this request triggers
+        # to the tenant that submitted it (None in single-tenant mode).
+        self._active_tenant = req.tenant
         try:
             end = super()._service(req, now)
         except (DeviceFailedError, RaidDegradedError) as exc:
-            if not self.config.bypass_on_failure:
+            if not self.config.faults.bypass_on_failure:
                 raise
             self._enter_bypass(now, f"{type(exc).__name__}: {exc}")
             return super()._service(req, now)
@@ -372,6 +381,12 @@ class SrcCache(CacheTarget):
             self.hotness.touch(block)
         else:
             self.cstats.write_misses += 1
+            if self.tenants is not None and \
+                    not self.tenants.admit(block, now):
+                # Over-share tenant: serve the write around the cache so
+                # the array footprint stays bounded without stalling it.
+                self.tenants.count_write_around(block)
+                return self.origin_write(block, now)
         if block in self.dirty_buf:
             return now + RAM_LATENCY  # absorbed rewrite
         # The block's previous incarnations are superseded.
@@ -424,6 +439,9 @@ class SrcCache(CacheTarget):
             self.srcstats.bypass_reads += 1
             return
         self.cstats.read_misses += 1
+        if self.tenants is not None and not self.tenants.admit(block, now):
+            self.tenants.count_read_around(block)
+            return
         self.staging.put(block, now)
         self._fill_clean(block, now)
 
@@ -434,6 +452,12 @@ class SrcCache(CacheTarget):
     def _read_miss(self, block: int, now: float) -> float:
         self.cstats.read_misses += 1
         fetch_end = self.origin_read(block, now)
+        if self.tenants is not None and \
+                not self.tenants.admit(block, fetch_end):
+            # The read is already served from the origin; an over-share
+            # tenant just does not get the block cached behind it.
+            self.tenants.count_read_around(block)
+            return fetch_end
         # Stage it, then move it to the clean segment buffer; the host
         # is acked at fetch completion (§4.1).
         self.staging.put(block, fetch_end)
@@ -650,7 +674,7 @@ class SrcCache(CacheTarget):
             # NAND timelines, so later I/O queues after it).  The
             # application-initiated flush path (handle_flush) always
             # blocks regardless of mode.
-            if not self.config.background_reclaim:
+            if not self.config.reclaim.background_reclaim:
                 end = flush_end
         # Watermark-driven background reclaim.  Below the high
         # watermark the scheduler trickles: one victim group at a time,
@@ -667,9 +691,9 @@ class SrcCache(CacheTarget):
         # subsequent foreground writes instead of extending this one's
         # acknowledgement.  If the trickle cannot keep up, the roll
         # path stalls at the hard floor (backpressure).
-        if (self.config.background_reclaim and not self._in_gc
-                and len(self._free) < self.config.gc_free_low):
-            self._reclaim_until(self.config.gc_free_high, end)
+        if (self.config.reclaim.background_reclaim and not self._in_gc
+                and len(self._free) < self.config.reclaim.gc_free_low):
+            self._reclaim_until(self.config.reclaim.gc_free_high, end)
         return end
 
     def _issue_unit_writes(self, sg: int, segment: int, nblocks: int,
@@ -755,8 +779,8 @@ class SrcCache(CacheTarget):
             rolled.state = _GroupState.CLOSED
             self._closed_fifo.append(rolled.index)
         end = now
-        if not self._in_gc and len(self._free) < self.config.gc_free_low:
-            if self.config.background_reclaim:
+        if not self._in_gc and len(self._free) < self.config.reclaim.gc_free_low:
+            if self.config.reclaim.background_reclaim:
                 # The trickle (kicked after segment writes) normally
                 # keeps free groups above the low watermark; reaching
                 # it here is the hard floor.  Reclaim state now — the
@@ -768,10 +792,10 @@ class SrcCache(CacheTarget):
                 # into a GC-feeds-GC equilibrium; destaging always
                 # gains a whole group and sheds dirty data, letting
                 # the trickle catch back up.
-                self._reclaim_until(self.config.gc_free_low, end,
+                self._reclaim_until(self.config.reclaim.gc_free_low, end,
                                     force_s2d=True)
             else:
-                end = self._reclaim_until(self.config.gc_free_high, end)
+                end = self._reclaim_until(self.config.reclaim.gc_free_high, end)
         if self.active is rolled:
             self.active = self._take_free_group()
             ready = self._group_ready.pop(self.active.index, 0.0)
@@ -780,6 +804,8 @@ class SrcCache(CacheTarget):
                 if not self._in_gc:
                     self.srcstats.throttle_stalls += 1
                     self.srcstats.throttle_wait_s += waited
+                    if self.tenants is not None:
+                        self.tenants.count_stall(self._active_tenant, waited)
                     if self.obs.enabled:
                         self.obs.emit(BackpressureStall(
                             t=ready, device=self.name, waited=waited,
@@ -793,9 +819,9 @@ class SrcCache(CacheTarget):
     def _pick_victim_sg(self) -> Optional[int]:
         if not self._closed_fifo:
             return None
-        if self.config.victim_policy is VictimPolicy.FIFO:
+        if self.config.reclaim.victim_policy is VictimPolicy.FIFO:
             return self._closed_fifo[0]
-        if self.config.victim_policy is VictimPolicy.COST_BENEFIT:
+        if self.config.reclaim.victim_policy is VictimPolicy.COST_BENEFIT:
             return max(self._closed_fifo, key=self._cost_benefit_score)
         return min(self._closed_fifo,
                    key=lambda sg: self.mapping.sg_valid_count(sg))
@@ -826,21 +852,27 @@ class SrcCache(CacheTarget):
                 # S2S copies everything forward when a victim is fully
                 # hot/dirty, gaining no space; after two stalled victims
                 # fall back to S2D, which always frees (§4.2's UMAX bound
-                # exists for exactly this pressure regime).
+                # exists for exactly this pressure regime).  Reservation
+                # protection survives that first escalation — destaging
+                # unprotected dirty data usually frees plenty — and is
+                # shed only if even protected S2D stalls twice more, so
+                # reclaim can always make progress in the worst case.
                 end = self._collect_group(victim, end,
                                           force_s2d=force_s2d
-                                          or stalled >= 2)
+                                          or stalled >= 2,
+                                          protect=stalled < 4)
                 stalled = stalled + 1 if len(self._free) <= before else 0
             return end
         finally:
             self._in_gc = False
 
     def _collect_group(self, victim: int, now: float,
-                       force_s2d: bool = False) -> float:
+                       force_s2d: bool = False,
+                       protect: bool = True) -> float:
         """Reclaim one segment group by S2D or Sel-GC rules."""
         use_s2s = (not force_s2d
-                   and self.config.gc_scheme is GcScheme.SEL_GC
-                   and self.utilization() <= self.config.u_max)
+                   and self.config.reclaim.gc_scheme is GcScheme.SEL_GC
+                   and self.utilization() <= self.config.reclaim.u_max)
         blocks = self.mapping.sg_blocks(victim)
         if self.obs.enabled:
             self.obs.emit(GcStart(t=now, device=self.name, victim=victim,
@@ -850,7 +882,7 @@ class SrcCache(CacheTarget):
             end = self._collect_s2s(victim, blocks, now)
             self.srcstats.s2s_collections += 1
         else:
-            end = self._collect_s2d(victim, blocks, now)
+            end = self._collect_s2d(victim, blocks, now, protect=protect)
             self.srcstats.s2d_collections += 1
         # Everything left in the SG is dead now.
         self.mapping.drop_sg(victim)
@@ -862,7 +894,7 @@ class SrcCache(CacheTarget):
         group.next_segment = 0
         self._closed_fifo.remove(victim)
         self._free.insert(0, victim)
-        if self.config.background_reclaim:
+        if self.config.reclaim.background_reclaim:
             # State is applied instantly, but the reclaim's device I/O
             # finishes at ``end``; a writer taking this group earlier
             # must wait for it (backpressure in _roll_group).
@@ -873,14 +905,50 @@ class SrcCache(CacheTarget):
                                 moved_pages=len(blocks)))
         return end
 
-    def _collect_s2d(self, victim: int, blocks, now: float) -> float:
-        """Destage dirty blocks to primary storage; drop clean blocks."""
+    def _collect_s2d(self, victim: int, blocks, now: float,
+                     protect: bool = True) -> float:
+        """Destage dirty blocks to primary storage; drop clean blocks.
+
+        Clean blocks belonging to a tenant at or below its reservation
+        are copied forward instead of dropped (``protect``): dropping
+        them would silently convert a guaranteed footprint into origin
+        re-read churn, defeating ``min_share``.
+        """
         dirty_lbas = sorted(lba for lba, e in blocks if e.dirty)
         end = self._destage(victim, dirty_lbas, now)
+        tenants = self.tenants
+        reserve_drops: Dict[str, int] = {}
+        keep_clean: List[int] = []   # must be read off the victim
+        keep_dirty: List[int] = []   # destaged above: data in hand, now clean
         for lba, entry in blocks:
-            if not entry.dirty:
-                self.cstats.evicted_clean_blocks += 1
-                self.hotness.evict(lba)
+            protected = (protect and tenants is not None
+                         and tenants.keep_for_reserve(lba, reserve_drops))
+            if entry.dirty:
+                # Reservation guarantees *residency*, not dirtiness: a
+                # protected dirty block is destaged like any other (the
+                # origin copy is what lets S2D free its group) but
+                # re-enters the cache as clean instead of vanishing.
+                if protected:
+                    keep_dirty.append(lba)
+                continue
+            if protected:
+                keep_clean.append(lba)
+                continue
+            self.cstats.evicted_clean_blocks += 1
+            self.hotness.evict(lba)
+        if keep_clean or keep_dirty:
+            read_end = (self._bulk_read(victim, keep_clean, now, IoOrigin.GC)
+                        if keep_clean else now)
+            avail = max(read_end, end)
+            for lba in keep_clean + keep_dirty:
+                self.mapping.invalidate(lba)
+                if lba not in self.clean_buf:
+                    if self.clean_buf.add(lba):
+                        end = max(end, self._write_segment(dirty=False,
+                                                           now=avail))
+                    self.srcstats.gc_copied_blocks += 1
+                    self.srcstats.gc_reserved_copies += 1
+            end = max(end, read_end)
         return end
 
     def _collect_s2s(self, victim: int, blocks, now: float) -> float:
@@ -895,14 +963,21 @@ class SrcCache(CacheTarget):
         """
         end = now
         copy_list = []
+        reserve_drops: Dict[str, int] = {}
         for lba, entry in blocks:
             if entry.dirty:
                 copy_list.append((lba, entry))
-            elif not self.config.hotness_aware:
+            elif not self.config.reclaim.hotness_aware:
                 copy_list.append((lba, entry))   # ablation: blind copy
             elif self.hotness.is_hot(lba):
                 self.hotness.clear(lba)   # consume the second chance
                 copy_list.append((lba, entry))
+            elif self.tenants is not None and \
+                    self.tenants.keep_for_reserve(lba, reserve_drops):
+                # Cold but reserved: the tenant is at/below min_share,
+                # so eviction would break its occupancy guarantee.
+                copy_list.append((lba, entry))
+                self.srcstats.gc_reserved_copies += 1
             else:
                 self.cstats.evicted_clean_blocks += 1
                 self.srcstats.gc_dropped_clean += 1
@@ -910,7 +985,7 @@ class SrcCache(CacheTarget):
         # Only the blocks being kept need to be read off the victim.
         read_end = self._bulk_read(victim, [lba for lba, _ in copy_list],
                                    now, IoOrigin.GC)
-        if self.config.separate_hot_clean:
+        if self.config.reclaim.separate_hot_clean:
             copy_list.sort(key=lambda item: item[1].dirty)
         copied_dirty = False
         for lba, entry in copy_list:
@@ -940,17 +1015,28 @@ class SrcCache(CacheTarget):
             return now
         read_end = self._bulk_read(victim, lbas, now, IoOrigin.DESTAGE)
         end = read_end
+        # Multi-tenant: coalesced runs must not cross a volume boundary
+        # so each destage write carries one tenant tag and the blocks
+        # are billed to their owner.
+        tenants = self.tenants
+        owner = tenants.tenant_of if tenants is not None else None
         run_start = prev = lbas[0]
+        run_tenant = owner(run_start) if owner is not None else None
         for lba in lbas[1:] + [None]:
-            if lba is not None and lba == prev + 1:
+            if (lba is not None and lba == prev + 1
+                    and (owner is None or owner(lba) == run_tenant)):
                 prev = lba
                 continue
-            length = (prev - run_start + 1) * PAGE_SIZE
+            nblocks = prev - run_start + 1
             end = max(end, self.origin.submit(
-                Request(Op.WRITE, run_start * PAGE_SIZE, length,
-                        origin=IoOrigin.DESTAGE), read_end))
+                Request(Op.WRITE, run_start * PAGE_SIZE, nblocks * PAGE_SIZE,
+                        origin=IoOrigin.DESTAGE, tenant=run_tenant),
+                read_end))
+            if run_tenant is not None:
+                tenants.count_destaged(run_tenant, nblocks)
             if lba is not None:
                 run_start = prev = lba
+                run_tenant = owner(lba) if owner is not None else None
         self.srcstats.gc_destaged_blocks += len(lbas)
         self.cstats.destaged_blocks += len(lbas)
         if self.obs.enabled:

@@ -86,12 +86,12 @@ def build_src(scale: float, config: Optional[SrcConfig] = None,
     ssds = ssds or build_ssds(scale, n=config.n_ssds, spec=spec)
     origin = origin or build_origin()
     spares = None
-    if scaled_config.hot_spares > 0:
+    if scaled_config.repair.hot_spares > 0:
         # Hot spares ship fresh from the box: no preconditioning, so a
         # rebuild lands on an empty FTL exactly like a drive swap would.
         scaled = spec.scaled(scale)
         spares = [SSDDevice(scaled, name=f"{scaled.name}-spare{i}")
-                  for i in range(scaled_config.hot_spares)]
+                  for i in range(scaled_config.repair.hot_spares)]
         for spare in spares:
             obs_attach(spare)
     return obs_attach(SrcCache(ssds, origin, scaled_config, spares=spares))

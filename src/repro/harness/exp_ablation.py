@@ -8,7 +8,7 @@
 
 from __future__ import annotations
 
-from repro.core.config import GcScheme, SrcConfig
+from repro.core.config import GcScheme, ReclaimConfig, SrcConfig
 from repro.harness.context import (CACHE_SPACE, DEFAULT_SCALE,
                                    ExperimentScale, build_src)
 from repro.harness.results import ExperimentResult
@@ -31,7 +31,8 @@ def run(es: ExperimentScale = DEFAULT_SCALE) -> ExperimentResult:
         row = [group]
         for _, overrides in VARIANTS:
             config = SrcConfig(cache_space=CACHE_SPACE,
-                               gc_scheme=GcScheme.SEL_GC, **overrides)
+                               reclaim=ReclaimConfig(
+                                   gc_scheme=GcScheme.SEL_GC, **overrides))
             cache = build_src(es.scale, config=config)
             res = run_trace_group(cache, group, es)
             row.append(f"{res.throughput_mb_s:.1f} "

@@ -41,7 +41,7 @@ from typing import Dict, List, Tuple
 from repro.common.errors import PowerCutError
 from repro.common.types import Op, Request
 from repro.common.units import GIB, KIB, MIB, PAGE_SIZE
-from repro.core.config import SrcConfig
+from repro.core.config import RepairConfig, SrcConfig
 from repro.core.metadata import MetadataStore
 from repro.core.recovery import recover
 from repro.core.src import SrcCache, _GroupState
@@ -84,8 +84,8 @@ MODES = ("ssd-write", "origin-write", "time", "rebuild-cut", "scrub-cut")
 # deliberately slow rebuild (so the crash window is wide) and a short
 # scrub period (so idle pumps reach a scrub pass within the run).
 REPAIR_MODES = ("rebuild-cut", "scrub-cut")
-TORTURE_REPAIR_CONFIG = replace(TORTURE_CONFIG, hot_spares=1,
-                                rebuild_rate=2 * MIB, scrub_interval=0.02)
+TORTURE_REPAIR_CONFIG = replace(TORTURE_CONFIG, repair=RepairConfig(
+    hot_spares=1, rebuild_rate=2 * MIB, scrub_interval=0.02))
 OPS_PER_CASE = 1600
 LBA_SPAN = 1024          # pages of origin address space the workload hits
 
@@ -114,7 +114,7 @@ def _build_stack(break_seal: bool = False,
             for i in range(config.n_ssds)]
     spares = [FaultInjector(SSDDevice(TORTURE_SSD, name=f"spare{i}"),
                             name=f"fault-spare{i}")
-              for i in range(config.hot_spares)]
+              for i in range(config.repair.hot_spares)]
     origin = FaultInjector(
         PrimaryStorage(n_disks=2, disk_spec=DiskSpec(capacity=2 * GIB)),
         name="fault-origin", record_writes=True)
@@ -195,12 +195,10 @@ def run_case(seed: int, point: int, break_seal: bool = False,
     """Run one seeded workload to one crash point and check recovery."""
     case = CaseResult(seed=seed, point=point, mode=MODES[point % len(MODES)],
                       crashed=False, ops_before_crash=0, torn_at_crash=0)
-    if case.mode in REPAIR_MODES and config.hot_spares == 0:
+    if case.mode in REPAIR_MODES and config.repair.hot_spares == 0:
         # The repair crash modes need a spare to cut and a scrubber to
         # interrupt, whatever config the caller brought.
-        config = replace(config, hot_spares=1,
-                         rebuild_rate=TORTURE_REPAIR_CONFIG.rebuild_rate,
-                         scrub_interval=TORTURE_REPAIR_CONFIG.scrub_interval)
+        config = replace(config, repair=TORTURE_REPAIR_CONFIG.repair)
     rng = random.Random((seed << 20) ^ point)
     cache, ssds, spares, origin, metadata = _build_stack(
         break_seal=break_seal, config=config)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from functools import partial
 
-from repro.core.config import GcScheme, SrcConfig
+from repro.core.config import GcScheme, ReclaimConfig, SrcConfig
 from repro.harness.context import (CACHE_SPACE, DEFAULT_SCALE,
                                    ExperimentScale, build_src)
 from repro.harness.parallel import grid, parallel_map
@@ -24,7 +24,8 @@ def _cell(point: tuple, es: ExperimentScale) -> str:
     """One (group, UMAX) point; module-level for pool pickling."""
     group, u_max = point
     config = SrcConfig(cache_space=CACHE_SPACE,
-                       gc_scheme=GcScheme.SEL_GC, u_max=u_max)
+                       reclaim=ReclaimConfig(gc_scheme=GcScheme.SEL_GC,
+                                             u_max=u_max))
     cache = build_src(es.scale, config=config)
     res = run_trace_group(cache, group, es)
     return f"{res.throughput_mb_s:.1f} ({res.io_amplification:.2f})"

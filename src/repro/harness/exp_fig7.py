@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from repro.baselines.common import CacheTarget, WritePolicy
-from repro.core.config import GcScheme, SrcConfig
+from repro.core.config import GcScheme, ReclaimConfig, SrcConfig
 from repro.harness.context import (CACHE_SPACE, DEFAULT_SCALE,
                                    ExperimentScale, build_bcache,
                                    build_flashcache, build_src)
@@ -32,7 +32,8 @@ def _builders(es: ExperimentScale) -> Dict[str, Callable[[], CacheTarget]]:
             es.scale, SrcConfig(cache_space=CACHE_SPACE)),
         "SRC-S2D": lambda: build_src(
             es.scale, SrcConfig(cache_space=CACHE_SPACE,
-                                gc_scheme=GcScheme.S2D)),
+                                reclaim=ReclaimConfig(
+                                    gc_scheme=GcScheme.S2D))),
         "Bcache5": lambda: build_bcache(
             es.scale, raid_level=5, policy=WritePolicy.WRITE_BACK,
             writeback_percent=0.90),

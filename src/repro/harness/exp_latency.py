@@ -26,7 +26,7 @@ p99 win is measured.
 
 from __future__ import annotations
 
-from repro.core.config import SrcConfig
+from repro.core.config import ReclaimConfig, SrcConfig
 from repro.harness.context import (CACHE_SPACE, DEFAULT_SCALE,
                                    ExperimentScale, build_src)
 from repro.harness.exp_fig7 import SCHEMES, _builders
@@ -49,7 +49,8 @@ def run(es: ExperimentScale = DEFAULT_SCALE) -> ExperimentResult:
     builders = dict(_builders(es))
     builders["SRC-inline"] = lambda: build_src(
         es.scale, SrcConfig(cache_space=CACHE_SPACE,
-                            background_reclaim=False))
+                            reclaim=ReclaimConfig(
+                                background_reclaim=False)))
     cells = {scheme: [] for scheme in LINEUP}
     for group in TRACE_GROUPS:
         for scheme in LINEUP:

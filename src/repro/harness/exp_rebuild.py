@@ -28,7 +28,7 @@ from typing import List, Optional
 
 from repro.common.types import Op, Request
 from repro.common.units import MIB, PAGE_SIZE
-from repro.core.config import SrcConfig
+from repro.core.config import RepairConfig, SrcConfig
 from repro.core.src import SrcCache
 from repro.faults import FaultInjector, FaultPlan
 from repro.harness.context import (CACHE_SPACE, DEFAULT_SCALE,
@@ -74,9 +74,9 @@ def _drain_rebuild(cache: SrcCache, now: float,
 def _run_row(es: ExperimentScale, rate: Optional[float]) -> dict:
     """One sweep point: replay the write group, optionally kill ssd0."""
     fail = rate is not None
-    config = SrcConfig(cache_space=CACHE_SPACE,
-                       hot_spares=1 if fail else 0,
-                       rebuild_rate=rate if fail else 64 * MIB)
+    config = SrcConfig(cache_space=CACHE_SPACE, repair=RepairConfig(
+        hot_spares=1 if fail else 0,
+        rebuild_rate=rate if fail else 64 * MIB))
     ssds: List = build_ssds(es.scale, n=config.n_ssds)
     if fail:
         fail_at = es.warmup + 0.3 * es.duration

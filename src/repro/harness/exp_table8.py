@@ -9,7 +9,8 @@ FIFO edges Greedy on Write/Mixed, Greedy wins on Read.
 from __future__ import annotations
 
 from repro.block.device import StatsDevice
-from repro.core.config import GcScheme, SrcConfig, VictimPolicy
+from repro.core.config import (GcScheme, ReclaimConfig, SrcConfig,
+                               VictimPolicy)
 from repro.harness.context import (CACHE_SPACE, DEFAULT_SCALE,
                                    ExperimentScale, build_src, build_ssds)
 from repro.harness.results import ExperimentResult
@@ -33,8 +34,10 @@ def run(es: ExperimentScale = DEFAULT_SCALE) -> ExperimentResult:
     for group in TRACE_GROUPS:
         row = [group]
         for name, scheme, victim in COMBOS:
-            config = SrcConfig(cache_space=CACHE_SPACE, gc_scheme=scheme,
-                               victim_policy=victim, u_max=0.90)
+            config = SrcConfig(cache_space=CACHE_SPACE,
+                               reclaim=ReclaimConfig(gc_scheme=scheme,
+                                                     victim_policy=victim,
+                                                     u_max=0.90))
             taps = [StatsDevice(s)
                     for s in build_ssds(es.scale, n=config.n_ssds)]
             cache = build_src(es.scale, config=config, ssds=taps)

@@ -55,7 +55,7 @@ class Raid10Array(BlockDevice):
             mirror_a = self.disks[2 * pair]
             mirror_b = self.disks[2 * pair + 1]
             sub = Request(req.op, pair_offset, length, fua=req.fua,
-                          origin=req.origin)
+                          origin=req.origin, tenant=req.tenant)
             if req.op is Op.READ:
                 self._read_toggle ^= 1
                 disk = mirror_a if self._read_toggle else mirror_b

@@ -30,11 +30,12 @@ examples.
 """
 
 from repro.obs.collect import collect
-from repro.obs.events import (EVENT_TYPES, BypassEntered, DegradedRead,
-                              Destage, DeviceLimping, Erase, Event,
-                              EventTrace, FaultInjected, FlushBarrier,
-                              GcEnd, GcStart, RebuildProgress, RetryAttempt,
-                              SegmentSealed, TimeoutExpired, event_fields)
+from repro.obs.events import (EVENT_TYPES, AdmissionRejected, BypassEntered,
+                              DegradedRead, Destage, DeviceLimping, Erase,
+                              Event, EventTrace, FaultInjected, FlushBarrier,
+                              GcEnd, GcStart, QosThrottled, RebuildProgress,
+                              RetryAttempt, SegmentSealed, TimeoutExpired,
+                              event_fields)
 from repro.obs.export import (events_to_csv, samples_to_csv, to_json,
                               write_json)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricRegistry
@@ -44,6 +45,7 @@ from repro.obs.sampler import Sampler
 
 __all__ = [
     "EVENT_TYPES",
+    "AdmissionRejected",
     "BypassEntered",
     "Counter",
     "DegradedRead",
@@ -62,6 +64,7 @@ __all__ = [
     "NULL_RECORDER",
     "NullRecorder",
     "ObsRecorder",
+    "QosThrottled",
     "RebuildProgress",
     "RetryAttempt",
     "Sampler",

@@ -9,8 +9,8 @@ write-amplification, latency histograms — keyed by the device
 hierarchy.
 
 The walk is duck-typed: any object exposing the relevant attributes
-(``stats``, ``cstats``, ``srcstats``, ``ftl``, ``latency``) is
-harvested, and the child links every stack in this repository uses
+(``stats``, ``cstats``, ``srcstats``, ``ftl``, ``latency``,
+``tenants``) is harvested, and the child links every stack here uses
 (``lower``, ``cache_dev``, ``origin``, ``ssds``, ``members``,
 ``array``, ``disks``) are followed with cycle protection.
 """
@@ -71,6 +71,9 @@ def _stats_block(device) -> dict:
         value = getattr(device, extra, None)
         if isinstance(value, (int, float)):
             node[extra] = value
+    tenants = getattr(device, "tenants", None)
+    if tenants is not None and hasattr(tenants, "as_dict"):
+        node["tenants"] = tenants.as_dict()
     return node
 
 

@@ -253,12 +253,41 @@ class ScrubUnrepairable(Event):
     member: int
 
 
+@dataclass(frozen=True)
+class AdmissionRejected(Event):
+    """Per-tenant admission control turned a block away from the cache.
+
+    The I/O still completes — writes go around the cache straight to
+    the origin, read misses are served from the origin uncached — so
+    this marks lost caching opportunity, not a failed request.
+    ``reason`` is ``max_share`` (tenant at its occupancy cap) or
+    ``no_free`` (nothing left to borrow work-conservingly).
+    """
+
+    tenant: str
+    lba: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class QosThrottled(Event):
+    """A tenant write waited on its QoS token bucket.
+
+    ``waited`` is the simulated delay (seconds) the rate cap imposed
+    before the write was admitted to the array.
+    """
+
+    tenant: str
+    waited: float
+
+
 EVENT_TYPES: List[Type[Event]] = [
     GcStart, GcEnd, Erase, FlushBarrier, SegmentSealed, Destage,
     DegradedRead, RebuildProgress, BackpressureStall, FaultInjected,
     RetryAttempt, TimeoutExpired, DeviceLimping, BypassEntered,
     HealthTransition, RebuildStarted, RebuildCompleted, ScrubProgress,
     CorruptionDetected, CorruptionRepaired, ScrubUnrepairable,
+    AdmissionRejected, QosThrottled,
 ]
 
 

@@ -375,7 +375,7 @@ class Raid0Device(_RaidBase):
         for ext in self._extents(req):
             off = ext.stripe * self.chunk_size + ext.offset
             sub = Request(req.op, off, ext.length, fua=req.fua,
-                          origin=req.origin)
+                          origin=req.origin, tenant=req.tenant)
             # No redundancy: a member lost after retries is fatal.
             end = max(end, self._member_submit(ext.chunk, sub, now))
         return end
@@ -418,7 +418,7 @@ class Raid1Device(_RaidBase):
         for ext in self._extents(req):
             off = ext.stripe * self.chunk_size + ext.offset
             sub = Request(req.op, off, ext.length, fua=req.fua,
-                          origin=req.origin)
+                          origin=req.origin, tenant=req.tenant)
             pair = (2 * ext.chunk, 2 * ext.chunk + 1)
             if req.op is Op.READ:
                 alive = [i for i in pair

@@ -53,15 +53,15 @@ class RepairController:
         self.spares: List[BlockDevice] = list(spares) if spares else []
         self.jobs: List[RebuildJob] = []
         self.unit_bytes = cache.layout.unit_blocks * PAGE_SIZE
-        self.rebuild_bucket = TokenBucket(cfg.rebuild_rate,
+        self.rebuild_bucket = TokenBucket(cfg.repair.rebuild_rate,
                                           2 * self.unit_bytes)
-        self.guard = ForegroundGuard(cfg.rebuild_fg_p99)
+        self.guard = ForegroundGuard(cfg.repair.rebuild_fg_p99)
         self.scrub_bucket = TokenBucket(
-            cfg.scrub_rate, 2 * cfg.n_ssds * self.unit_bytes)
+            cfg.repair.scrub_rate, 2 * cfg.n_ssds * self.unit_bytes)
         self._scrub_pass: Optional[List[Unit]] = None
         self._scrub_i = 0
         self._scrub_repaired_pass = 0
-        self._scrub_next_due = cfg.scrub_interval
+        self._scrub_next_due = cfg.repair.scrub_interval
         self._pumping = False
 
     # ------------------------------------------------------------------
@@ -212,7 +212,7 @@ class RepairController:
         """
         if self._pumping or self.cache.bypass:
             return
-        if not self.jobs and self.cache.config.scrub_interval <= 0:
+        if not self.jobs and self.cache.config.repair.scrub_interval <= 0:
             return
         self._pumping = True
         try:
@@ -325,7 +325,7 @@ class RepairController:
     # ------------------------------------------------------------------
     def _advance_scrub(self, now: float) -> None:
         cfg = self.cache.config
-        if cfg.scrub_interval <= 0 or self.jobs:
+        if cfg.repair.scrub_interval <= 0 or self.jobs:
             return   # rebuild restores redundancy first; scrub waits
         if self._scrub_pass is None:
             if now < self._scrub_next_due:
@@ -352,7 +352,7 @@ class RepairController:
                                  checked=total, total=total,
                                  repaired=self._scrub_repaired_pass))
         self.cache.srcstats.scrub_passes += 1
-        self._scrub_next_due = now + cfg.scrub_interval
+        self._scrub_next_due = now + cfg.repair.scrub_interval
         self._scrub_pass = None
 
     def scrub_now(self, now: float) -> ScrubReport:

@@ -19,7 +19,7 @@ from typing import Callable, Iterator, List, Optional
 
 from repro.block.lifecycle import Submission
 from repro.common.errors import ConfigError
-from repro.common.types import IoStats, LatencyStats, Request
+from repro.common.types import IoOrigin, IoStats, LatencyStats, Request
 from repro.common.units import mb_per_sec
 
 # A workload source yields Requests forever (or until exhausted).
@@ -45,6 +45,13 @@ class JobStream:
     parameter of the same name: up to that many requests may be in
     flight at once, and a new one is issued the moment a slot frees.
     The default of 1 is the classic one-at-a-time closed loop.
+
+    The budget applies to *foreground* requests only.  A source may
+    interleave background-origin requests (destage, GC kicks, tenant
+    maintenance); those are fire-and-forget — they neither occupy an
+    iodepth slot nor enter the stream's latency reservoir, so a tagged
+    background write can no longer steal the foreground's budget and
+    inflate its percentiles.
     """
 
     def __init__(self, source: RequestSource, think_time: float = 0.0,
@@ -161,6 +168,7 @@ class Engine:
         totals_record = totals.record
         latencies_record = latencies.record
         queue_delays_record = queue_delays.record
+        foreground = IoOrigin.FOREGROUND
 
         while heap:
             issue_time, index, stream = heappop(heap)
@@ -169,20 +177,23 @@ class Engine:
             request = stream.next_request()
             if request is None:
                 continue
+            is_fg = request.origin is foreground
             result = issue(request, issue_time)
             if isinstance(result, Submission):
                 done = result.done_t
-                queue_delays_record(result.begin_t - result.issue_t)
+                if is_fg:
+                    queue_delays_record(result.begin_t - result.issue_t)
             else:
                 done = result
             if done < issue_time:
                 raise AssertionError(
                     f"completion {done} precedes issue {issue_time}")
-            latency = done - issue_time
             stream.stats.record(request)
-            stream.latency.record(latency)
             totals_record(request)
-            latencies_record(latency)
+            if is_fg:
+                latency = done - issue_time
+                stream.latency.record(latency)
+                latencies_record(latency)
             completed += 1
             issued += 1
             clipped = done if done < duration else duration
@@ -194,8 +205,15 @@ class Engine:
                 end_time = clipped
             if max_requests and issued >= max_requests:
                 break
-            heappush(heap, (stream.slot_free_after(issue_time, done),
-                            index, stream))
+            if is_fg:
+                heappush(heap, (stream.slot_free_after(issue_time, done),
+                                index, stream))
+            else:
+                # Background origins are budget-exempt: the next request
+                # issues immediately (plus think time), without charging
+                # an iodepth slot or waiting on the background I/O.
+                heappush(heap, (issue_time + stream.think_time,
+                                index, stream))
 
         elapsed = duration if duration != float("inf") else end_time
         # If every source dried up before `duration`, report actual span.

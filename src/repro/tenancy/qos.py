@@ -1,0 +1,65 @@
+"""Per-tenant QoS classes.
+
+A :class:`QosSpec` describes what one tenant is promised from the
+shared SRC array:
+
+* ``min_share`` — fraction of the cache's data capacity reserved for
+  the tenant.  While the tenant occupies less than its reservation it
+  is always admitted, and the registry keeps enough capacity unspoken
+  for that other tenants cannot strand the reservation.
+* ``max_share`` — hard ceiling on the tenant's occupancy fraction.  A
+  whale with ``max_share=0.5`` can never hold more than half the
+  cache, no matter how hot its working set is.
+* ``max_write_mb_s`` — optional token-bucket cap on the tenant's write
+  submission rate through its :class:`~repro.tenancy.volume.Volume`
+  (0 disables the cap).
+
+Between min and max the registry lends out idle capacity
+(work-conserving borrowing) unless the array's
+:class:`~repro.core.config.QosConfig` turns that off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class QosSpec:
+    """One tenant's QoS class (immutable)."""
+
+    min_share: float = 0.0
+    max_share: float = 1.0
+    max_write_mb_s: float = 0.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_share <= 1.0:
+            raise ConfigError(
+                f"min_share must be in [0, 1], got {self.min_share}")
+        if not 0.0 <= self.max_share <= 1.0:
+            raise ConfigError(
+                f"max_share must be in [0, 1], got {self.max_share}")
+        if self.min_share > self.max_share:
+            raise ConfigError(
+                f"min_share {self.min_share} exceeds max_share "
+                f"{self.max_share}")
+        if self.max_write_mb_s < 0:
+            raise ConfigError(
+                f"max_write_mb_s must be >= 0, got {self.max_write_mb_s}")
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "min_share": self.min_share,
+            "max_share": self.max_share,
+            "max_write_mb_s": self.max_write_mb_s,
+        }
+
+
+# Convenience presets, in the spirit of Open-CAS I/O classes.
+GOLD = QosSpec(min_share=0.25, max_share=1.0, name="gold")
+SILVER = QosSpec(min_share=0.10, max_share=0.50, name="silver")
+BEST_EFFORT = QosSpec(min_share=0.0, max_share=0.25, name="best-effort")

@@ -1,0 +1,88 @@
+"""repro.api stability: the facade is complete and the only doorway."""
+
+import ast
+import pathlib
+
+import pytest
+
+import repro
+import repro.api as api
+from repro.common.errors import ConfigError
+from repro.common.types import Op, Request
+from repro.common.units import MIB, PAGE_SIZE
+
+SRC_ROOT = pathlib.Path(repro.__file__).parent
+
+
+# ----------------------------------------------------------------------
+# __all__ completeness
+# ----------------------------------------------------------------------
+def test_api_all_names_resolve():
+    for name in api.__all__:
+        assert hasattr(api, name), f"api.__all__ lists missing {name!r}"
+
+
+def test_package_root_reexports_entire_facade():
+    assert set(api.__all__) <= set(repro.__all__)
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ lists missing {name!r}"
+
+
+def test_facade_covers_the_issue_contract():
+    # The documented surface: open_array -> Array -> Volume -> stats.
+    for name in ("open_array", "Array", "Volume", "QosSpec", "Request",
+                 "Op", "SrcConfig", "QosConfig", "EXPERIMENTS",
+                 "run_experiment", "result_violations"):
+        assert name in api.__all__
+
+
+def _repro_imports(path: pathlib.Path) -> "set[str]":
+    tree = ast.parse(path.read_text())
+    modules = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and \
+                node.module.split(".")[0] == "repro":
+            modules.add(node.module)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "repro":
+                    modules.add(alias.name)
+    return modules
+
+
+@pytest.mark.parametrize("consumer", [
+    SRC_ROOT / "cli.py",
+    SRC_ROOT.parent.parent / "examples" / "quickstart.py",
+    SRC_ROOT.parent.parent / "examples" / "design_space_tour.py",
+])
+def test_consumers_import_only_the_facade(consumer):
+    assert _repro_imports(consumer) <= {"repro", "repro.api"}, (
+        f"{consumer.name} imports internal repro modules; it must go "
+        f"through repro.api")
+
+
+# ----------------------------------------------------------------------
+# behaviour of the facade itself
+# ----------------------------------------------------------------------
+def test_open_array_round_trip(tmp_path):
+    array = api.open_array(scale=1 / 64)
+    assert array.tenants is None                 # single-tenant until carved
+    vol = array.create_volume("t", size=4 * MIB,
+                              qos=api.QosSpec(min_share=0.1))
+    assert array.tenants is not None
+    now = vol.submit(Request(Op.WRITE, 0, PAGE_SIZE), 0.0)
+    assert now > 0.0
+    doc = array.stats()
+    assert doc["tenants"]["tenants"]["t"]["cached_blocks"] == 1
+    assert "io" in doc and "cache" in doc
+
+
+def test_run_experiment_rejects_unknown_id():
+    with pytest.raises(ConfigError):
+        api.run_experiment("no-such-table")
+
+
+def test_experiments_registry_lists_tenants():
+    assert "tenants" in api.EXPERIMENTS
+    module_name, _ = api.EXPERIMENTS["tenants"]
+    assert module_name == "repro.harness.exp_tenants"

@@ -1,0 +1,123 @@
+"""Nested SrcConfig groups: round-trips, flat-kwarg shims, identity."""
+
+import warnings
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.types import Op, Request
+from repro.common.units import MIB, PAGE_SIZE
+from repro.core.config import (FaultConfig, GcScheme, QosConfig,
+                               ReclaimConfig, RepairConfig, SrcConfig,
+                               VictimPolicy)
+
+from _stacks import TINY_SRC, make_src
+
+
+# ----------------------------------------------------------------------
+# round-trips
+# ----------------------------------------------------------------------
+def test_nested_config_round_trips_through_dict():
+    config = SrcConfig(
+        cache_space=128 * MIB,
+        reclaim=ReclaimConfig(gc_scheme=GcScheme.S2D, u_max=0.8,
+                              victim_policy=VictimPolicy.GREEDY),
+        faults=FaultConfig(retry_attempts=2),
+        repair=RepairConfig(hot_spares=1),
+        qos=QosConfig(enforce_shares=False, default_min_share=0.1),
+    )
+    assert SrcConfig.from_dict(config.as_dict()) == config
+
+
+def test_as_dict_is_nested_and_json_ready():
+    data = SrcConfig().as_dict()
+    for group in ("reclaim", "faults", "repair", "qos"):
+        assert isinstance(data[group], dict)
+    assert data["reclaim"]["gc_scheme"] == "sel-gc"   # enum -> value
+    assert data["qos"]["enforce_shares"] is True
+
+
+def test_from_dict_accepts_flat_legacy_documents():
+    with pytest.warns(DeprecationWarning):
+        config = SrcConfig.from_dict({"u_max": 0.7, "hot_spares": 2})
+    assert config.reclaim.u_max == 0.7
+    assert config.repair.hot_spares == 2
+
+
+def test_scaled_preserves_policy_groups():
+    config = SrcConfig(cache_space=1024 * MIB,
+                       qos=QosConfig(enforce_shares=False))
+    scaled = config.scaled(1 / 8)
+    assert scaled.qos == config.qos
+    assert scaled.reclaim == config.reclaim
+    assert scaled.cache_space == 128 * MIB
+
+
+# ----------------------------------------------------------------------
+# deprecation shims
+# ----------------------------------------------------------------------
+def test_flat_kwargs_warn_and_route_into_groups():
+    with pytest.warns(DeprecationWarning, match="u_max"):
+        config = SrcConfig(u_max=0.85, hot_spares=1)
+    assert config.reclaim.u_max == 0.85
+    assert config.repair.hot_spares == 1
+
+
+def test_flat_attribute_reads_warn_and_match_nested():
+    config = SrcConfig(reclaim=ReclaimConfig(u_max=0.8))
+    with pytest.warns(DeprecationWarning, match="u_max"):
+        assert config.u_max == config.reclaim.u_max == 0.8
+
+
+def test_nested_construction_emits_no_warnings():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        SrcConfig(cache_space=128 * MIB,
+                  reclaim=ReclaimConfig(u_max=0.85),
+                  qos=QosConfig())
+
+
+def test_unknown_kwargs_still_rejected():
+    with pytest.raises(TypeError):
+        SrcConfig(no_such_knob=1)
+
+
+def test_group_validation_still_fires():
+    with pytest.raises(ConfigError):
+        ReclaimConfig(u_max=1.5)
+    with pytest.raises(ConfigError):
+        QosConfig(default_min_share=0.9, default_max_share=0.5)
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ConfigError):
+            SrcConfig(u_max=1.5)          # routed into the group, validated
+
+
+# ----------------------------------------------------------------------
+# flat vs nested behavioural identity
+# ----------------------------------------------------------------------
+def test_flat_and_nested_configs_are_equal_and_run_identically():
+    with pytest.warns(DeprecationWarning):
+        flat = SrcConfig(
+            erase_group_size=TINY_SRC.erase_group_size,
+            segment_unit=TINY_SRC.segment_unit,
+            cache_space=TINY_SRC.cache_space,
+            t_wait=TINY_SRC.t_wait,
+            u_max=0.85, gc_scheme=GcScheme.S2D)
+    nested = SrcConfig(
+        erase_group_size=TINY_SRC.erase_group_size,
+        segment_unit=TINY_SRC.segment_unit,
+        cache_space=TINY_SRC.cache_space,
+        t_wait=TINY_SRC.t_wait,
+        reclaim=ReclaimConfig(u_max=0.85, gc_scheme=GcScheme.S2D))
+    assert flat == nested
+
+    def drive(config):
+        cache = make_src(config)
+        now = 0.0
+        for offset in range(0, 24 * MIB, PAGE_SIZE):
+            now = cache.submit(Request(Op.WRITE, offset, PAGE_SIZE), now)
+        for offset in range(0, 8 * MIB, PAGE_SIZE):
+            now = cache.submit(Request(Op.READ, offset, PAGE_SIZE), now)
+        return now, cache.cstats.as_dict(), cache.srcstats.as_dict()
+
+    assert drive(flat) == drive(nested)

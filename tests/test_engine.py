@@ -248,3 +248,37 @@ def test_equal_time_streams_issue_in_index_order():
                                     name=f"s{i}"))
     engine.run(duration=1.5)
     assert order[:4] == [0, 1, 2, 3]
+
+
+def test_background_origin_exempt_from_iodepth_budget():
+    # A source interleaving foreground and background requests: the
+    # background writes are fire-and-forget, so they must neither hold
+    # an iodepth slot nor enter the latency reservoirs.
+    from repro.common.types import IoOrigin, Request, Op
+
+    def mixed():
+        while True:
+            yield write(0, 4096)
+            yield Request(Op.WRITE, 0, 4096, origin=IoOrigin.DESTAGE)
+
+    fg_only = run_streams(fixed_latency_issue(0.1),
+                          [repeat(write(0, 4096))], duration=10.0)
+    result = run_streams(fixed_latency_issue(0.1), [mixed()],
+                         duration=10.0)
+    # Foreground pacing is unchanged: the same ~100 foreground
+    # completions land despite a background write between each pair.
+    fg_ops = result.latency.count
+    assert fg_ops == pytest.approx(fg_only.completed_ops, abs=2)
+    # ... and the background ops still complete and are counted.
+    assert result.completed_ops == pytest.approx(2 * fg_ops, abs=2)
+    assert result.stats.write_ops == result.completed_ops
+
+
+def test_background_origin_latency_not_recorded():
+    from repro.common.types import IoOrigin, Request, Op
+    bg = Request(Op.WRITE, 0, 4096, origin=IoOrigin.GC)
+    result = run_streams(fixed_latency_issue(5.0),
+                         [repeat(bg, count=10)], duration=10.0)
+    assert result.completed_ops == 10
+    assert result.latency.count == 0
+    assert result.queue_delay.count == 0

@@ -1,0 +1,234 @@
+"""Multi-tenant volume layer: shares, borrowing, admission, stats."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.types import Op, Request
+from repro.common.units import MIB, PAGE_SIZE
+from repro.core.config import QosConfig, SrcConfig
+from repro.tenancy import QosSpec, TenantRegistry, Volume
+
+from _stacks import TINY_SRC, make_src
+
+
+def _registry(**qos_kwargs) -> TenantRegistry:
+    config = SrcConfig(
+        erase_group_size=TINY_SRC.erase_group_size,
+        segment_unit=TINY_SRC.segment_unit,
+        cache_space=TINY_SRC.cache_space,
+        t_wait=TINY_SRC.t_wait,
+        qos=QosConfig(**qos_kwargs) if qos_kwargs else QosConfig(),
+    )
+    return TenantRegistry(make_src(config))
+
+
+def _fill(volume: Volume, nbytes: int, now: float = 0.0) -> float:
+    """Sequentially write ``nbytes`` of 4 KiB blocks through a volume."""
+    for offset in range(0, nbytes, PAGE_SIZE):
+        now = volume.submit(Request(Op.WRITE, offset, PAGE_SIZE), now)
+    return now
+
+
+# ----------------------------------------------------------------------
+# QosSpec validation
+# ----------------------------------------------------------------------
+def test_qos_spec_validates_shares():
+    with pytest.raises(ConfigError):
+        QosSpec(min_share=-0.1)
+    with pytest.raises(ConfigError):
+        QosSpec(max_share=1.5)
+    with pytest.raises(ConfigError):
+        QosSpec(min_share=0.6, max_share=0.5)
+    with pytest.raises(ConfigError):
+        QosSpec(max_write_mb_s=-1)
+
+
+# ----------------------------------------------------------------------
+# volume carving
+# ----------------------------------------------------------------------
+def test_volumes_are_disjoint_tagged_windows():
+    reg = _registry()
+    a = reg.create_volume("a", 8 * MIB)
+    b = reg.create_volume("b", 8 * MIB)
+    assert a.base_block == 0
+    assert b.base_block == a.blocks
+    assert reg.tenant_of(0) == "a"
+    assert reg.tenant_of(a.blocks) == "b"
+    assert reg.tenant_of(a.blocks + b.blocks) is None
+
+    # A volume write lands in the volume's window of the origin space.
+    a.submit(Request(Op.WRITE, 0, PAGE_SIZE), 0.0)
+    b.submit(Request(Op.WRITE, 0, PAGE_SIZE), 0.0)
+    assert reg.occupancy("a") == 1
+    assert reg.occupancy("b") == 1
+    reg.check_invariants()
+
+
+def test_volume_size_and_qos_conflicts_rejected():
+    reg = _registry()
+    with pytest.raises(ConfigError):
+        reg.create_volume("a", PAGE_SIZE + 1)     # unaligned
+    with pytest.raises(ConfigError):
+        reg.create_volume("a", 0)                 # empty
+    reg.create_volume("a", 4 * MIB, QosSpec(min_share=0.2))
+    with pytest.raises(ConfigError):              # conflicting QoS class
+        reg.create_volume("a", 4 * MIB, QosSpec(min_share=0.3))
+    reg.create_volume("a", 4 * MIB)               # same tenant, no respec
+
+
+def test_overcommitted_reservations_rejected():
+    reg = _registry()
+    reg.create_volume("a", 4 * MIB, QosSpec(min_share=0.7))
+    with pytest.raises(ConfigError):
+        reg.create_volume("b", 4 * MIB, QosSpec(min_share=0.5))
+
+
+# ----------------------------------------------------------------------
+# share enforcement
+# ----------------------------------------------------------------------
+def test_max_share_caps_occupancy_with_write_around():
+    reg = _registry()
+    whale = reg.create_volume("whale", 32 * MIB, QosSpec(max_share=0.10))
+    _fill(whale, 32 * MIB)
+    t = reg.stats()["whale"]
+    assert t["cached_blocks"] <= t["max_blocks"]
+    assert t["rejected_blocks"] > 0
+    assert t["write_arounds"] == t["rejected_blocks"]
+    reg.check_invariants()
+
+
+def test_unenforced_registry_admits_everything():
+    reg = _registry(enforce_shares=False)
+    whale = reg.create_volume("whale", 16 * MIB, QosSpec(max_share=0.05))
+    _fill(whale, 8 * MIB)
+    t = reg.stats()["whale"]
+    assert t["rejected_blocks"] == 0
+    assert t["cached_blocks"] > t["max_blocks"]
+    reg.check_invariants()
+
+
+def test_min_share_reservation_always_admits():
+    reg = _registry()
+    vol = reg.create_volume("small", 4 * MIB, QosSpec(min_share=0.5,
+                                                      max_share=0.5))
+    _fill(vol, 4 * MIB)
+    t = reg.stats()["small"]
+    assert t["rejected_blocks"] == 0
+    assert t["cached_blocks"] * PAGE_SIZE == 4 * MIB
+    reg.check_invariants()
+
+
+# ----------------------------------------------------------------------
+# work-conserving borrowing
+# ----------------------------------------------------------------------
+def test_borrowing_takes_idle_but_not_reserved_capacity():
+    # "idle" reserves 60% and issues nothing; "greedy" may borrow the
+    # unreserved remainder beyond its own 10% reservation, but never
+    # the idle tenant's untouched reservation.
+    reg = _registry(work_conserving=True)
+    reg.create_volume("idle", 4 * MIB, QosSpec(min_share=0.6))
+    greedy = reg.create_volume("greedy", 64 * MIB,
+                               QosSpec(min_share=0.1, max_share=1.0))
+    _fill(greedy, 64 * MIB)
+    stats = reg.stats()["greedy"]
+    cap = reg.capacity_blocks
+    reserved = reg.stats()["idle"]["min_blocks"]
+    assert stats["cached_blocks"] > stats["min_blocks"]  # borrowed
+    assert stats["cached_blocks"] <= cap - reserved      # not the reserve
+    assert stats["rejected_blocks"] > 0
+    reg.check_invariants()
+
+
+def test_strict_partitioning_stops_at_reservation():
+    reg = _registry(work_conserving=False)
+    reg.create_volume("idle", 4 * MIB, QosSpec(min_share=0.6))
+    greedy = reg.create_volume("greedy", 64 * MIB,
+                               QosSpec(min_share=0.1, max_share=1.0))
+    _fill(greedy, 64 * MIB)
+    stats = reg.stats()["greedy"]
+    # Without borrowing the tenant is pinned at its reservation (the
+    # segment buffers may hold a handful of blocks above it in flight).
+    slack = 2 * reg.cache.dirty_buf.capacity
+    assert stats["cached_blocks"] <= stats["min_blocks"] + slack
+    reg.check_invariants()
+
+
+# ----------------------------------------------------------------------
+# per-tenant stats isolation
+# ----------------------------------------------------------------------
+def test_stats_are_isolated_per_tenant():
+    reg = _registry()
+    a = reg.create_volume("a", 8 * MIB)
+    reg.create_volume("b", 8 * MIB)
+    now = _fill(a, 2 * MIB)
+    for offset in range(0, MIB, PAGE_SIZE):
+        now = a.submit(Request(Op.READ, offset, PAGE_SIZE), now)
+    sa, sb = reg.stats()["a"], reg.stats()["b"]
+    assert sa["io"]["write_ops"] == 2 * MIB // PAGE_SIZE
+    assert sa["io"]["read_ops"] == MIB // PAGE_SIZE
+    assert sa["latency"]["count"] > 0
+    assert sb["io"]["total_ops"] == 0
+    assert sb["latency"]["count"] == 0
+    assert sb["cached_blocks"] == 0
+    reg.check_invariants()
+
+
+def test_write_rate_cap_throttles_and_accounts():
+    reg = _registry()
+    vol = reg.create_volume("capped", 8 * MIB,
+                            QosSpec(max_write_mb_s=0.5))
+    done = _fill(vol, 2 * MIB)
+    # 2 MiB at 0.5 MiB/s cannot complete much before 4 simulated
+    # seconds; an uncapped volume finishes in well under one.
+    assert done > 3.0
+    t = reg.stats()["capped"]
+    assert t["throttle_waits"] > 0
+    assert t["throttle_wait_s"] > 0
+
+
+def test_rate_cap_idles_when_enforcement_off():
+    reg = _registry(enforce_shares=False)
+    vol = reg.create_volume("capped", 8 * MIB,
+                            QosSpec(max_write_mb_s=0.5))
+    done = _fill(vol, 2 * MIB)
+    assert done < 3.0
+    assert reg.stats()["capped"]["throttle_waits"] == 0
+
+
+def _churn_reserved(enforce: bool) -> int:
+    """12 MiB reserved footprint vs 128 MiB of churn; returns the
+    reserved tenant's surviving occupancy."""
+    reg = _registry(enforce_shares=enforce)
+    reserved = reg.create_volume("reserved", 16 * MIB,
+                                 QosSpec(min_share=0.2, max_share=0.5))
+    churn = reg.create_volume("churn", 64 * MIB, QosSpec(max_share=1.0))
+    now = _fill(reserved, 12 * MIB)
+    for _ in range(2):
+        now = _fill(churn, 64 * MIB, now)
+    reg.check_invariants()
+    return reg.stats()["reserved"]["cached_blocks"]
+
+
+def test_reclaim_protects_reserved_occupancy():
+    # Admission alone cannot uphold min_share: reclaim must not evict a
+    # tenant sitting at/below its reservation.  The reserved tenant's
+    # footprint (3072 blocks) fits its reservation, so with enforcement
+    # every block survives 128 MiB of another tenant's churn; without
+    # enforcement the tenant-blind log reclaim washes almost all of it
+    # out.
+    footprint = 12 * MIB // PAGE_SIZE
+    assert _churn_reserved(enforce=True) == footprint
+    assert _churn_reserved(enforce=False) < footprint // 2
+
+
+def test_destage_attribution_reaches_owner():
+    reg = _registry()
+    vol = reg.create_volume("w", 32 * MIB)
+    now = _fill(vol, 24 * MIB)
+    reg.cache.flush(now)
+    # Enough dirty data to force destage through the shared pipeline;
+    # every destaged block must be billed to its owning tenant.
+    total_destaged = sum(s["destaged_blocks"]
+                        for s in reg.stats().values())
+    assert total_destaged == reg.stats()["w"]["destaged_blocks"]
+    reg.check_invariants()
