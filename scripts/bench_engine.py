@@ -20,7 +20,11 @@ Scenarios
   regressions the raw-engine scenarios miss;
 * ``replay/msr-write`` — an MSR-style trace-replay segment (the Table
   6 "write" group) against the SRC stack: the trace-parsing + replay +
-  cache path the paper's sweeps actually exercise.
+  cache path the paper's sweeps actually exercise;
+* ``cluster/passthrough`` — the same random-write workload through a
+  2-shard :class:`~repro.cluster.router.ShardRouter`, so the router's
+  per-request overhead (hash, run-splitting, health checks) is gated
+  against regressions alongside the stacks it fronts.
 
 The output JSON records the git SHA and the repro config (scale, fill,
 seed) so BENCH artifacts from different CI runs are comparable::
@@ -41,7 +45,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.common.units import KIB                      # noqa: E402
-from repro.harness.context import build_src             # noqa: E402
+from repro.harness.context import build_cluster, build_src  # noqa: E402
 from repro.sim.engine import run_streams                # noqa: E402
 from repro.ssd.device import SSDDevice, precondition    # noqa: E402
 from repro.ssd.spec import SATA_MLC_128                 # noqa: E402
@@ -125,6 +129,29 @@ def _scenario_src(name: str, requests: int, seed: int) -> dict:
                        wall, result.elapsed)
 
 
+def _scenario_cluster(name: str, requests: int, seed: int) -> dict:
+    """Router overhead: random writes through a 2-shard cluster.
+
+    Same workload shape as ``src/randwrite4k``; the delta between the
+    two scenarios is the consistent-hash routing layer itself.
+    """
+    router = build_cluster(SCALE, n_shards=2)
+    span = min(router.size,
+               4 * next(iter(router.shards.values())).config.cache_space
+               * len(router.shards))
+    stream = uniform_random(span, request_size=4 * KIB, seed=seed)
+
+    def issue(req, now):
+        return router.submit(req, now)
+
+    wall_start = time.perf_counter()
+    result = run_streams(issue, [stream], duration=float("inf"),
+                         max_requests=requests)
+    wall = time.perf_counter() - wall_start
+    return _result_row(name, {"stack": "cluster", "shards": 2},
+                       result.completed_ops, wall, result.elapsed)
+
+
 def _scenario_replay(name: str, requests: int, seed: int) -> dict:
     """MSR-style trace-replay segment against the SRC stack."""
     src = build_src(SCALE)
@@ -160,6 +187,8 @@ def main(argv=None) -> int:
         _scenario_src("src/randwrite4k", args.requests // 2, args.seed),
         _scenario_replay("replay/msr-write", args.requests // 2,
                          args.seed),
+        _scenario_cluster("cluster/passthrough", args.requests // 2,
+                          args.seed),
     ]
     headline = min(s["reqs_per_sec"] for s in scenarios)
     payload = {

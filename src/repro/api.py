@@ -32,6 +32,8 @@ import inspect
 from typing import Dict, List, Optional
 
 from repro.baselines.common import WritePolicy
+from repro.cluster import (ClusterConfig, ClusterStats, ClusterVolume,
+                           MigrationLedger, ShardRouter)
 from repro.common.errors import ConfigError, ReproError
 from repro.common.types import (IoOrigin, IoStats, LatencyStats, Op,
                                 Request, flush)
@@ -42,7 +44,8 @@ from repro.core.config import (CleanRedundancy, FaultConfig, FlushPoint,
 from repro.core.src import SrcCache
 from repro.harness.context import (CACHE_SPACE, DEFAULT_SCALE, QUICK_SCALE,
                                    ExperimentScale, build_bcache,
-                                   build_flashcache, build_src)
+                                   build_cluster, build_flashcache,
+                                   build_shard, build_src)
 from repro.harness.results import ExperimentResult
 from repro.obs import ObsRecorder, attach, collect, events_to_csv, to_json, use
 from repro.ssd.spec import NVME_MLC_400, SATA_MLC_128, SATA_TLC_128, SsdSpec
@@ -74,6 +77,8 @@ EXPERIMENTS: Dict[str, "tuple[str, str]"] = {
                 "supplementary: latency percentiles per scheme"),
     "tenants": ("repro.harness.exp_tenants",
                 "tenant isolation: QoS shares vs a write whale"),
+    "cluster": ("repro.harness.exp_cluster",
+                "sharded cluster: scaling, rebalance, blast radius"),
 }
 
 
@@ -116,6 +121,13 @@ def run_rebuild(es: ExperimentScale = DEFAULT_SCALE) -> ExperimentResult:
     """The hot-spare rebuild sweep + scrub demo (``repro rebuild``)."""
     from repro.harness import exp_rebuild
     return exp_rebuild.run(es)
+
+
+def run_cluster(es: ExperimentScale = DEFAULT_SCALE,
+                jobs: int = 1) -> ExperimentResult:
+    """The sharded-cluster acceptance suite (``repro cluster``)."""
+    from repro.harness import exp_cluster
+    return exp_cluster.run(es, jobs=jobs)
 
 
 def generate_report(es: ExperimentScale, output: str,
@@ -233,6 +245,14 @@ __all__ = [
     "TenantRegistry",
     "TenantStats",
     "Volume",
+    # cluster
+    "ClusterConfig",
+    "ClusterStats",
+    "ClusterVolume",
+    "MigrationLedger",
+    "ShardRouter",
+    "build_cluster",
+    "build_shard",
     # request / result types
     "IoOrigin",
     "IoStats",
@@ -274,6 +294,7 @@ __all__ = [
     # experiments
     "EXPERIMENTS",
     "run_experiment",
+    "run_cluster",
     "run_faults",
     "run_rebuild",
     "result_violations",

@@ -13,6 +13,8 @@ replay <group>           replay a trace group against a chosen target
 export-trace <name> ...  materialise a synthetic trace as MSR CSV
 faults                   seeded crash-point torture harness
 rebuild                  hot-spare rebuild sweep + scrub demo
+cluster                  sharded-cluster acceptance suite (scaling,
+                         rebalance under load, blast radius)
 
 Any :class:`~repro.common.errors.ReproError` escaping a command is
 reported as a one-line message and exit status 2.
@@ -257,6 +259,25 @@ def cmd_rebuild(args) -> int:
     return 1 if result_violations(result) else 0
 
 
+def cmd_cluster(args) -> int:
+    from repro.api import run_cluster
+    es = _scale_from(args)
+    if args.format == "json":
+        from repro.api import ObsRecorder, to_json, use
+        recorder = ObsRecorder(sample_interval=SAMPLE_INTERVAL)
+        with use(recorder):
+            result = run_cluster(es, jobs=args.jobs)
+        print(to_json({
+            "id": "cluster",
+            "results": [result.as_dict()],
+            "telemetry": recorder.telemetry(),
+        }))
+    else:
+        result = run_cluster(es, jobs=args.jobs)
+        print(result.render())
+    return 1 if result_violations(result) else 0
+
+
 def cmd_export_trace(args) -> int:
     from repro.api import export_synthetic_trace
     with open(args.output, "w", encoding="utf-8") as sink:
@@ -327,6 +348,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="table (default) or json with telemetry")
     _add_scale_flags(rebuild)
 
+    cluster = sub.add_parser(
+        "cluster", help="sharded-cluster acceptance suite")
+    cluster.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="processes for the shard-scaling sweep; "
+                              "results are identical to --jobs 1")
+    cluster.add_argument("--format", choices=("table", "json"),
+                         default="table",
+                         help="table (default) or json with telemetry")
+    _add_scale_flags(cluster)
+
     export = sub.add_parser("export-trace",
                             help="export a synthetic trace as MSR CSV")
     export.add_argument("trace")
@@ -349,6 +380,7 @@ def main(argv=None) -> int:
         "export-trace": cmd_export_trace,
         "faults": cmd_faults,
         "rebuild": cmd_rebuild,
+        "cluster": cmd_cluster,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,31 @@
+"""Per-shard health, reusing the device-health state machine.
+
+A shard slot moves through exactly the vocabulary
+:class:`~repro.repair.health.DeviceHealth` defines for array members:
+HEALTHY while serving, DEGRADED when its cache stack fails (the router
+serves that hash range from the origin), REBUILDING while an attached
+spare warms the slot, and back to HEALTHY.  FAILED and BYPASS keep
+their terminal meanings — a slot the cluster has written off.
+
+Reusing :class:`~repro.repair.health.HealthTracker` wholesale buys the
+legality checks, transition history, and MTTR / degraded-window
+accounting for free; the only cluster-specific need is that shard
+count *grows* when a shard is added online, hence :meth:`add_slot`.
+"""
+
+from __future__ import annotations
+
+from repro.repair.health import (DeviceHealth, HealthTracker,
+                                 RepairStateError, Transition)
+
+__all__ = ["DeviceHealth", "RepairStateError", "ShardHealthTracker",
+           "Transition"]
+
+
+class ShardHealthTracker(HealthTracker):
+    """A :class:`HealthTracker` whose slot count can grow online."""
+
+    def add_slot(self) -> int:
+        """Append a new HEALTHY slot; returns its index."""
+        self._states.append(DeviceHealth.HEALTHY)
+        return len(self._states) - 1

@@ -1,0 +1,66 @@
+"""Tenant volumes over the sharded cluster.
+
+The cluster twin of :class:`repro.tenancy.volume.Volume`: a real
+:class:`~repro.block.device.BlockDevice` the tenant mounts, which
+shifts volume-relative offsets into the volume's window of the cluster
+address space, stamps requests with the tenant tag (so per-shard
+tenancy and observability attribute them), and applies an optional
+write-rate cap as an admission delay through the shared token bucket.
+
+The window is contiguous in LBAs but **spans shards**: the router's
+consistent hash scatters its slabs across every shard in the cluster,
+so one tenant's footprint — and one tenant's misbehavior — is spread
+evenly rather than concentrated on a single cache.
+"""
+
+from __future__ import annotations
+
+from repro.block.device import BlockDevice
+from repro.common.throttle import TokenBucket
+from repro.common.types import Op, Request
+from repro.common.units import MIB, PAGE_SIZE
+from repro.obs.events import QosThrottled
+
+
+class ClusterVolume(BlockDevice):
+    """One tenant's namespace over the sharded cluster."""
+
+    def __init__(self, router, tenant: str, base_block: int, blocks: int,
+                 max_write_mb_s: float = 0.0, index: int = 0):
+        super().__init__(blocks * PAGE_SIZE, name=f"cvol{index}:{tenant}")
+        self.router = router
+        self.tenant = tenant
+        self.base_block = base_block
+        self.blocks = blocks
+        self._base = base_block * PAGE_SIZE
+        rate = max_write_mb_s * MIB
+        # Burst of ~10 ms at line rate keeps small bursts unthrottled
+        # (same shape as the tenancy QoS volumes).
+        self._bucket = TokenBucket(rate, burst_bytes=max(rate * 0.01,
+                                                         4 * PAGE_SIZE))
+        self.throttle_waits = 0
+        self.throttle_wait_s = 0.0
+
+    def _admit(self, req: Request, now: float) -> float:
+        if req.op is not Op.WRITE or self._bucket.rate <= 0:
+            return now
+        begin = self._bucket.ready_time(req.length, now)
+        self._bucket.consume(req.length, begin)
+        if begin > now:
+            self.throttle_waits += 1
+            self.throttle_wait_s += begin - now
+            if self.router.obs.enabled:
+                self.router.obs.emit(QosThrottled(
+                    t=now, device=self.name, tenant=self.tenant,
+                    waited=begin - now))
+        return begin
+
+    def _service(self, req: Request, now: float) -> float:
+        if req.op is Op.FLUSH:
+            fwd = Request(Op.FLUSH, fua=req.fua, origin=req.origin,
+                          tenant=self.tenant)
+        else:
+            fwd = Request(req.op, req.offset + self._base, req.length,
+                          fua=req.fua, origin=req.origin,
+                          tenant=self.tenant)
+        return self.router.submit(fwd, now)

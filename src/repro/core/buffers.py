@@ -129,3 +129,7 @@ class StagingBuffer:
         blocks = list(self._staged)
         self._staged.clear()
         return blocks
+
+    def peek(self) -> List[int]:
+        """Staged LBAs without draining (cluster migration snapshots)."""
+        return list(self._staged)

@@ -96,6 +96,14 @@ class MappingTable:
         """Valid (lba, entry) pairs currently living in ``sg``."""
         return [(lba, self._map[lba]) for lba in self._per_sg[sg].values()]
 
+    def items(self) -> List[Tuple[int, CacheEntry]]:
+        """Every valid (lba, entry) pair, in no particular order.
+
+        Snapshot copy: callers (cluster migration walks) mutate the
+        table while iterating the result.
+        """
+        return list(self._map.items())
+
     def drop_sg(self, sg: int) -> None:
         """Forget every mapping in a segment group (post-reclaim)."""
         for lba in list(self._per_sg[sg].values()):

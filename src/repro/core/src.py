@@ -90,6 +90,9 @@ class SrcStats:
     scrub_checked_blocks: int = 0
     scrub_repairs: int = 0
     scrub_unrepairable: int = 0
+    # Cluster shard migration (repro.cluster).
+    migrated_in_blocks: int = 0
+    migrated_out_blocks: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -1138,6 +1141,126 @@ class SrcCache(CacheTarget):
             self.staging.pop(block)
             self.hotness.evict(block)
         return now
+
+    # ==================================================================
+    # shard-extraction hooks (repro.cluster migration)
+    # ==================================================================
+    # The cluster layer moves individual blocks between SrcCache
+    # instances when a hash range changes owner.  These entry points
+    # expose the block-granular pieces of the read/write paths without
+    # the application-facing accounting (hit/miss counters, tenant
+    # admission, hotness touches): migration traffic is plumbing, not
+    # workload, and must not skew the cache statistics the experiments
+    # measure.
+
+    def cached_blocks(self) -> List[Tuple[int, bool]]:
+        """Snapshot of every cached block as ``(lba, dirty)`` pairs.
+
+        Covers the RAM segment buffers, the staging buffer, and the
+        on-flash mapping.  A snapshot copy: migration mutates the cache
+        while walking the result.
+        """
+        found: Dict[int, bool] = {}
+        for lba, entry in self.mapping.items():
+            found[lba] = entry.dirty
+        for lba in self.staging.peek():
+            found.setdefault(lba, False)
+        for lba in self.clean_buf.peek():
+            found[lba] = False
+        for lba in self.dirty_buf.peek():
+            found[lba] = True   # dirty supersedes any stale clean copy
+        return list(found.items())
+
+    def block_version(self, block: int) -> int:
+        """Write-version counter for ``block`` (bumped per app write).
+
+        Migration compares versions across a copy to detect a write
+        that raced the copy and must be re-copied.
+        """
+        return self._version_of(block, bump=False)
+
+    def block_dirty(self, block: int) -> bool:
+        """Current dirty state of ``block`` (False if not cached).
+
+        Migration must consult this at copy time, not trust its walk
+        snapshot: a write racing between snapshot and copy makes the
+        block dirty *and* bumps its version before the copy reads it,
+        so the version-based catch-up would never revisit it — copying
+        the snapshot's stale clean flag would silently drop the dirty
+        bit across the hand-off.
+        """
+        if block in self.dirty_buf:
+            return True
+        entry = self.mapping.lookup(block)
+        return entry is not None and entry.dirty
+
+    def migrate_read(self, block: int, now: float) -> Optional[float]:
+        """Read one block for migration; None if it is not cached here.
+
+        Serves from RAM buffers or the flash mapping without touching
+        hit/miss counters or hotness — the block is leaving, not being
+        referenced.
+        """
+        if self.bypass:
+            return None
+        if (block in self.dirty_buf or block in self.clean_buf
+                or block in self.staging):
+            return now + RAM_LATENCY
+        entry = self.mapping.lookup(block)
+        if entry is None:
+            return None
+        return self._cache_read(block, entry, now)
+
+    def admit_block(self, block: int, dirty: bool, now: float) -> float:
+        """Install a migrated block, preserving its dirty state.
+
+        The lean core of :meth:`write_block` / :meth:`_fill_clean`:
+        supersede prior incarnations, land in the matching segment
+        buffer, seal a segment when one fills.  No admission control —
+        ownership already moved, the block must land.
+        """
+        if self.bypass:
+            return now   # bypass shard caches nothing; owner is origin
+        self.srcstats.migrated_in_blocks += 1
+        if dirty:
+            if block in self.dirty_buf:
+                return now + RAM_LATENCY
+            self.mapping.invalidate(block)
+            self.clean_buf.remove(block)
+            self.staging.pop(block)
+            self._version_of(block, bump=True)
+            full = self.dirty_buf.add(block)
+            self._last_dirty_write = max(self._last_dirty_write, now)
+            if full:
+                end = self._write_segment(dirty=True, now=now)
+                self._last_dirty_write = max(self._last_dirty_write, end)
+                return end
+            return now + RAM_LATENCY
+        if (block in self.dirty_buf or block in self.clean_buf
+                or block in self.mapping):
+            return now + RAM_LATENCY   # already here; dirty supersedes
+        self.staging.pop(block)
+        full = self.clean_buf.add(block)
+        if full:
+            return self._write_segment(dirty=False, now=now)
+        return now + RAM_LATENCY
+
+    def evict_block(self, block: int) -> bool:
+        """Forget a block this shard no longer owns (RAM-only, instant).
+
+        Pure bookkeeping — mapping row, buffer slots, hotness bit — so
+        it cannot be interrupted by a device fault.  The caller
+        guarantees a durable copy exists at the block's new owner (or
+        the block is clean and the origin still holds it).
+        """
+        found = self.mapping.invalidate(block) is not None
+        found = self.dirty_buf.remove(block) or found
+        found = self.clean_buf.remove(block) or found
+        found = self.staging.pop(block) is not None or found
+        self.hotness.evict(block)
+        if found:
+            self.srcstats.migrated_out_blocks += 1
+        return found
 
     # ==================================================================
     # drive failure / replacement (§4.1 failure handling, §6 scaling)

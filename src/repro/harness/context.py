@@ -97,6 +97,49 @@ def build_src(scale: float, config: Optional[SrcConfig] = None,
     return obs_attach(SrcCache(ssds, origin, scaled_config, spares=spares))
 
 
+def build_shard(scale: float, config: Optional[SrcConfig] = None,
+                origin: Optional[BlockDevice] = None,
+                spec: SsdSpec = SATA_MLC_128,
+                label: str = "shard0") -> SrcCache:
+    """One SRC shard stack for a cluster (named SSDs, shared origin)."""
+    config = config or SrcConfig(cache_space=CACHE_SPACE)
+    scaled = spec.scaled(scale)
+    ssds = [SSDDevice(scaled, name=f"{label}-{scaled.name}-{i}")
+            for i in range(config.n_ssds)]
+    for ssd in ssds:
+        precondition(ssd, fill_fraction=PRECONDITION_FILL)
+        obs_attach(ssd)
+    shard = build_src(scale, config=config, ssds=ssds, origin=origin,
+                      spec=spec)
+    shard.name = label
+    return shard
+
+
+def build_cluster(scale: float, n_shards: int = 4,
+                  config: Optional[SrcConfig] = None,
+                  cluster_config: Optional["ClusterConfig"] = None,
+                  origin: Optional[BlockDevice] = None,
+                  spec: SsdSpec = SATA_MLC_128) -> "ShardRouter":
+    """A sharded SRC cluster: N independent stacks, one shared origin.
+
+    Every shard fronts the *same* origin device — the cluster multiplexes
+    one address space, it does not glue together N disjoint ones — and
+    splits the paper's cache window evenly, so total cache capacity is
+    scale-equivalent to a single ``build_src`` stack.
+    """
+    from repro.cluster import ClusterConfig, ShardRouter
+    cluster_config = cluster_config or ClusterConfig(n_shards=n_shards)
+    if cluster_config.n_shards != n_shards:
+        from dataclasses import replace
+        cluster_config = replace(cluster_config, n_shards=n_shards)
+    origin = origin or build_origin()
+    config = config or SrcConfig(cache_space=CACHE_SPACE // n_shards)
+    shards = [build_shard(scale, config=config, origin=origin, spec=spec,
+                          label=f"shard{i}")
+              for i in range(n_shards)]
+    return obs_attach(ShardRouter(shards, origin, cluster_config))
+
+
 def build_cache_window(scale: float, raid_level: int,
                        chunk_size: int = 4 * KIB,
                        n: int = 4,

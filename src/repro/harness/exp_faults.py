@@ -38,6 +38,7 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Tuple
 
+from repro.cluster import ClusterConfig, ShardRouter
 from repro.common.errors import PowerCutError
 from repro.common.types import Op, Request
 from repro.common.units import GIB, KIB, MIB, PAGE_SIZE
@@ -79,7 +80,8 @@ TORTURE_CONFIG = SrcConfig(
     t_wait=5e-3,
 )
 
-MODES = ("ssd-write", "origin-write", "time", "rebuild-cut", "scrub-cut")
+MODES = ("ssd-write", "origin-write", "time", "rebuild-cut", "scrub-cut",
+         "migrate-cut")
 # Modes exercising the repro.repair subsystem run with a hot spare, a
 # deliberately slow rebuild (so the crash window is wide) and a short
 # scrub period (so idle pumps reach a scrub pass within the run).
@@ -88,6 +90,13 @@ TORTURE_REPAIR_CONFIG = replace(TORTURE_CONFIG, repair=RepairConfig(
     hot_spares=1, rebuild_rate=2 * MIB, scrub_interval=0.02))
 OPS_PER_CASE = 1600
 LBA_SPAN = 1024          # pages of origin address space the workload hits
+
+# The migrate-cut mode runs a 2-shard cluster and adds a third shard
+# mid-run; fine-grained slabs and few vnodes keep the ring small enough
+# that every arc sees traffic within the case's 1600 ops.
+TORTURE_CLUSTER = ClusterConfig(
+    n_shards=2, vnodes=8, slab_blocks=16, hash_seed=1,
+    migration_rate=8 * MIB, migration_unit_blocks=16)
 
 
 @dataclass
@@ -190,11 +199,193 @@ def _seed_scrub_corruption(cache: SrcCache, rng: random.Random,
         power_cut_after_writes=victim.writes_seen + step)
 
 
+def _build_cluster_shard(label: str, origin: FaultInjector,
+                         break_seal: bool = False) -> Tuple[
+        SrcCache, List[FaultInjector], MetadataStore]:
+    """One tiny SRC shard behind injectors, sharing the cluster origin."""
+    ssds = [FaultInjector(SSDDevice(TORTURE_SSD, name=f"{label}t{i}"),
+                          name=f"fault-{label}{i}")
+            for i in range(TORTURE_CONFIG.n_ssds)]
+    metadata = MetadataStore()
+    if break_seal:
+        metadata.seal_summary = lambda sg, segment: None
+    shard = SrcCache(ssds, origin, TORTURE_CONFIG, metadata=metadata)
+    shard.name = label
+    return shard, ssds, metadata
+
+
+def _run_migrate_cut(case: CaseResult, rng: random.Random,
+                     break_seal: bool = False) -> CaseResult:
+    """Power cut during an online shard add; recovery must leave every
+    block with exactly one owner and zero lost acknowledged dirty.
+
+    Two tiny shards take a seeded workload through a
+    :class:`~repro.cluster.router.ShardRouter`; a third shard is added
+    a third of the way in, so the cut (armed on the new shard's SSD
+    writes for odd steps — every write it sees is a migration copy — or
+    on a source shard's SSD counted from the add for even steps) lands
+    mid-rebalance.  The shards then recover independently from their
+    metadata, the router is rebuilt over the surviving
+    :class:`MigrationLedger`, ``recover_interrupted`` resumes the
+    hand-off, and the resumed migration is drained to completion.
+    """
+    step = case.point // len(MODES) + 1
+    origin = FaultInjector(
+        PrimaryStorage(n_disks=2, disk_spec=DiskSpec(capacity=2 * GIB)),
+        name="fault-origin", record_writes=True)
+    shards, ssd_groups, metadatas = [], [], []
+    for index in range(TORTURE_CLUSTER.n_shards):
+        shard, ssds, metadata = _build_cluster_shard(
+            f"shard{index}", origin, break_seal=break_seal and index == 0)
+        shards.append(shard)
+        ssd_groups.append(ssds)
+        metadatas.append(metadata)
+    new_shard, new_ssds, new_metadata = _build_cluster_shard(
+        "shard-new", origin)
+    router = obs_attach(ShardRouter(shards, origin, TORTURE_CLUSTER,
+                                    name="torture-cluster"))
+    if step % 2 == 1:
+        # Every write the new shard's SSDs see is a migration copy
+        # landing, so its Nth write is mid-rebalance by construction.
+        new_ssds[rng.randrange(len(new_ssds))].plan = FaultPlan(
+            seed=case.seed, power_cut_after_writes=step)
+
+    add_at = OPS_PER_CASE // 3
+    buffered: set = set()
+    sealed: set = set()
+    now = 0.0
+    try:
+        for op_index in range(OPS_PER_CASE):
+            case.ops_before_crash = op_index
+            if op_index == add_at:
+                router.add_shard(new_shard, now)
+                if step % 2 == 0:
+                    # Source-side cut: land on one of the shards the
+                    # migration is reading from, shortly after the add.
+                    victim = ssd_groups[rng.randrange(len(ssd_groups))]
+                    injector = victim[rng.randrange(len(victim))]
+                    injector.plan = FaultPlan(
+                        seed=case.seed,
+                        power_cut_after_writes=(injector.writes_seen
+                                                + step))
+            lba = rng.randrange(LBA_SPAN)
+            draw = rng.random()
+            if draw < 0.70:
+                req = Request(Op.WRITE, lba * PAGE_SIZE, PAGE_SIZE)
+            elif draw < 0.95:
+                req = Request(Op.READ, lba * PAGE_SIZE, PAGE_SIZE)
+            else:
+                req = Request(Op.FLUSH)
+            end = router.submit(req, now)
+            if req.op is Op.WRITE:
+                buffered.add(lba)
+                sealed.discard(lba)   # newest version is RAM-only again
+            for done in [b for b in buffered
+                         if all(b not in s.dirty_buf
+                                for s in router.shards.values())]:
+                buffered.discard(done)
+                sealed.add(done)
+            now = max(now, end) + 10e-6
+    except PowerCutError:
+        case.crashed = True
+
+    # ------------------------------------------------------------------
+    # the machine is dead; the shard metadata and the migration ledger
+    # are what survives.
+    # ------------------------------------------------------------------
+    all_metadata = metadatas + [new_metadata]
+    torn = [(m, s.sg, s.segment) for m in all_metadata
+            for s in m.all_summaries() if not s.consistent]
+    case.torn_at_crash = len(torn)
+    for injectors in ssd_groups + [new_ssds]:
+        for injector in injectors:
+            injector.disarm()
+    origin.disarm()
+
+    ledger = router.ledger
+    add_completed = not ledger.active and 2 in router.shards
+    recovered = []
+    discarded = 0
+    for shard, metadata in zip(shards + [new_shard], all_metadata):
+        cache, report = recover(list(shard.ssds), origin, TORTURE_CONFIG,
+                                metadata)
+        cache.name = shard.name
+        recovered.append(cache)
+        case.segments_recovered += report.segments_recovered
+        case.blocks_recovered += report.blocks_recovered
+        discarded += report.segments_discarded
+    if discarded != len(torn):
+        case.violations.append(
+            f"discarded {discarded} segments, expected {len(torn)} torn")
+
+    resume_at = now + 1.0
+    if add_completed:
+        config3 = replace(TORTURE_CLUSTER, n_shards=3)
+        rebuilt = ShardRouter(recovered, origin, config3, ledger=ledger,
+                              name="torture-cluster")
+        rebuilt.recover_interrupted(resume_at)
+    else:
+        rebuilt = ShardRouter(recovered[:2], origin, TORTURE_CLUSTER,
+                              ledger=ledger, name="torture-cluster")
+        rebuilt.recover_interrupted(
+            resume_at, new_shard=recovered[2] if ledger.active else None)
+        # Drain the resumed migration to completion.
+        t = resume_at
+        for _ in range(200_000):
+            if rebuilt._migration is None:
+                break
+            rebuilt.pump(t)
+            t += 1e-3
+        else:
+            case.violations.append("resumed migration did not complete")
+        rebuilt.reconcile(t)
+
+    # Invariant 1: every durably-acknowledged dirty block survived on
+    # some shard or reached the origin before the cut.
+    assert origin.written_pages is not None
+    for lba in sorted(sealed):
+        if lba in origin.written_pages:
+            continue
+        holders = [slot for slot, shard in rebuilt.shards.items()
+                   if (entry := shard.mapping.lookup(lba)) is not None
+                   and entry.dirty]
+        if not holders:
+            case.violations.append(
+                f"acked dirty lba {lba} lost (not mapped, not destaged)")
+
+    # Invariant 2: exactly one owner per cached block.
+    dirty_holders: Dict[int, int] = {}
+    for slot, shard in rebuilt.shards.items():
+        for lba, dirty in shard.cached_blocks():
+            if rebuilt.owner_slot(lba) != slot:
+                case.violations.append(
+                    f"lba {lba} cached on slot {slot}, owned by "
+                    f"{rebuilt.owner_slot(lba)}")
+            if dirty:
+                if lba in dirty_holders:
+                    case.violations.append(
+                        f"lba {lba} dirty on slots {dirty_holders[lba]} "
+                        f"and {slot}")
+                dirty_holders[lba] = slot
+
+    # Invariant 3: per-shard mapping consistency.
+    for shard in rebuilt.shards.values():
+        try:
+            shard.mapping.check_invariants()
+        except AssertionError as exc:
+            case.violations.append(
+                f"{shard.name} mapping invariant: {exc}")
+    return case
+
+
 def run_case(seed: int, point: int, break_seal: bool = False,
              config: SrcConfig = TORTURE_CONFIG) -> CaseResult:
     """Run one seeded workload to one crash point and check recovery."""
     case = CaseResult(seed=seed, point=point, mode=MODES[point % len(MODES)],
                       crashed=False, ops_before_crash=0, torn_at_crash=0)
+    if case.mode == "migrate-cut":
+        rng = random.Random((seed << 20) ^ point)
+        return _run_migrate_cut(case, rng, break_seal=break_seal)
     if case.mode in REPAIR_MODES and config.repair.hot_spares == 0:
         # The repair crash modes need a spare to cut and a scrubber to
         # interrupt, whatever config the caller brought.
@@ -306,7 +497,7 @@ def run(es: ExperimentScale = DEFAULT_SCALE, seeds: int = 5,
         experiment="Faults",
         title=f"Crash-point torture: {seeds} seeds x {points} points "
               "(power cut mid-segment-write / mid-GC / mid-destage / "
-              "mid-rebuild / mid-scrub-repair)",
+              "mid-rebuild / mid-scrub-repair / mid-shard-migration)",
         columns=["Mode", "Cases", "Crashed", "Torn found",
                  "Blocks recovered", "Violations"],
     )

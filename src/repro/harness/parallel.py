@@ -67,10 +67,30 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T],
         return [fn(item) for item in items]
     processes = min(jobs, len(items))
     ctx = _pool_context()
-    with ctx.Pool(processes=processes) as pool:
+    pool = ctx.Pool(processes=processes)
+    try:
         # chunksize=1: sweep points are seconds-long, so scheduling
         # granularity beats batching; ordered map keeps determinism.
-        return pool.map(fn, items, chunksize=1)
+        # map_async + a finite get() timeout keeps the parent
+        # interruptible: a bare pool.map blocks in a C-level wait that
+        # swallows KeyboardInterrupt until every worker finishes.
+        async_result = pool.map_async(fn, items, chunksize=1)
+        while True:
+            try:
+                results = async_result.get(timeout=1.0)
+                break
+            except mp.TimeoutError:
+                continue
+    except BaseException:
+        # Worker exception or parent-side interrupt: tear the pool
+        # down hard so no live workers outlast the sweep, then
+        # re-raise the original failure unchanged.
+        pool.terminate()
+        pool.join()
+        raise
+    pool.close()
+    pool.join()
+    return results
 
 
 def grid(*axes: Sequence) -> List[tuple]:

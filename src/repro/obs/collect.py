@@ -22,7 +22,7 @@ from typing import Optional, Set
 # (attribute, role) pairs: scalar children keep the attribute name as
 # their role; list children become "role[i]".
 _SCALAR_CHILDREN = ("lower", "cache_dev", "origin", "array")
-_LIST_CHILDREN = ("ssds", "members", "disks")
+_LIST_CHILDREN = ("ssds", "members", "disks", "shards")
 
 
 def _stats_block(device) -> dict:
@@ -74,6 +74,12 @@ def _stats_block(device) -> dict:
     tenants = getattr(device, "tenants", None)
     if tenants is not None and hasattr(tenants, "as_dict"):
         node["tenants"] = tenants.as_dict()
+    clusterstats = getattr(device, "clusterstats", None)
+    if clusterstats is not None and hasattr(clusterstats, "as_dict"):
+        node["cluster"] = clusterstats.as_dict()
+    health = getattr(device, "health", None)
+    if health is not None and hasattr(health, "as_dict"):
+        node["health"] = health.as_dict()
     return node
 
 
@@ -89,6 +95,9 @@ def collect(device, _seen: Optional[Set[int]] = None) -> dict:
     # SSD, and the canonical key for that node is ``ssds[0]``.
     for attr in _LIST_CHILDREN:
         group = getattr(device, attr, None)
+        if isinstance(group, dict):
+            # The router keeps shards keyed by slot; walk in slot order.
+            group = [group[k] for k in sorted(group)]
         if group:
             for i, child in enumerate(group):
                 if id(child) not in _seen:

@@ -281,13 +281,60 @@ class QosThrottled(Event):
     waited: float
 
 
+@dataclass(frozen=True)
+class ShardHealthTransition(Event):
+    """One cluster shard slot moved between health states.
+
+    The shard-level sibling of :class:`HealthTransition`: same
+    vocabulary (``old``/``new`` are ``DeviceHealth`` string values),
+    but ``shard`` indexes a router slot, not an SSD member.
+    """
+
+    shard: int
+    old: str
+    new: str
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class MigrationProgress(Event):
+    """A cluster rebalance advanced or changed phase.
+
+    ``phase`` is ``start`` / ``range`` (one hash range handed off) /
+    ``done`` / ``resume``; ``done``/``total`` count ranges, and
+    ``blocks`` / ``dirty_blocks`` count what has been copied so far.
+    """
+
+    phase: str
+    done: int
+    total: int
+    blocks: int = 0
+    dirty_blocks: int = 0
+
+
+@dataclass(frozen=True)
+class RouterDegraded(Event):
+    """The router started serving a shard's hash ranges from the origin.
+
+    ``lost_dirty`` counts acknowledged-dirty blocks that existed only
+    on the failed shard (same accounting as ``BypassEntered``);
+    ``ranges`` is how many ring arcs now fall through to the origin.
+    """
+
+    shard: int
+    reason: str
+    lost_dirty: int
+    ranges: int
+
+
 EVENT_TYPES: List[Type[Event]] = [
     GcStart, GcEnd, Erase, FlushBarrier, SegmentSealed, Destage,
     DegradedRead, RebuildProgress, BackpressureStall, FaultInjected,
     RetryAttempt, TimeoutExpired, DeviceLimping, BypassEntered,
     HealthTransition, RebuildStarted, RebuildCompleted, ScrubProgress,
     CorruptionDetected, CorruptionRepaired, ScrubUnrepairable,
-    AdmissionRejected, QosThrottled,
+    AdmissionRejected, QosThrottled, ShardHealthTransition,
+    MigrationProgress, RouterDegraded,
 ]
 
 

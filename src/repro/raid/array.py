@@ -35,7 +35,7 @@ from repro.obs.events import (DegradedRead, HealthTransition,
                               RebuildStarted)
 from repro.repair.health import DeviceHealth, HealthTracker
 from repro.repair.rebuild import RebuildJob
-from repro.repair.throttle import TokenBucket
+from repro.common.throttle import TokenBucket
 
 
 @dataclass(frozen=True)

@@ -5,7 +5,7 @@ from repro.repair.health import (DeviceHealth, HealthTracker,
                                  RepairStateError, Transition)
 from repro.repair.rebuild import RebuildJob
 from repro.repair.scrub import ScrubReport
-from repro.repair.throttle import ForegroundGuard, TokenBucket
+from repro.common.throttle import ForegroundGuard, TokenBucket
 
 __all__ = [
     "DeviceHealth", "ForegroundGuard", "HealthTracker", "RebuildJob",

@@ -38,7 +38,7 @@ from repro.obs.events import (CorruptionDetected, CorruptionRepaired,
 from repro.repair.health import DeviceHealth, HealthTracker
 from repro.repair.rebuild import RebuildJob
 from repro.repair.scrub import ScrubReport
-from repro.repair.throttle import ForegroundGuard, TokenBucket
+from repro.common.throttle import ForegroundGuard, TokenBucket
 
 Unit = Tuple[int, int]   # (sg, segment)
 

@@ -23,7 +23,7 @@ from repro.block.device import BlockDevice
 from repro.common.types import Op, Request
 from repro.common.units import MIB, PAGE_SIZE
 from repro.obs.events import QosThrottled
-from repro.repair.throttle import TokenBucket
+from repro.common.throttle import TokenBucket
 
 
 class Volume(BlockDevice):

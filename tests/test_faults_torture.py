@@ -15,7 +15,7 @@ pytestmark = pytest.mark.faults
 def test_small_matrix_has_zero_violations():
     crashed = 0
     for seed in (1, 2):
-        for point in range(15):              # 3 points per crash mode
+        for point in range(18):              # 3 points per crash mode
             case = run_case(seed, point)
             assert case.violations == [], (
                 f"seed {seed} point {point} ({case.mode}): "
@@ -27,7 +27,7 @@ def test_small_matrix_has_zero_violations():
 
 def test_every_mode_produces_a_crash():
     crashed_modes = set()
-    for point in range(15):
+    for point in range(18):
         case = run_case(3, point)
         if case.crashed:
             crashed_modes.add(case.mode)

@@ -63,6 +63,42 @@ def test_fig2_parallel_identical_to_serial():
             == json.dumps(parallel.as_dict(), sort_keys=True))
 
 
+def _boom(x):
+    if x == 7:
+        raise ValueError("sweep point 7 exploded")
+    return x
+
+
+def _assert_no_leftover_children(before, deadline_s=10.0):
+    # terminate()/join() (or close()/join()) must leave no pool worker
+    # behind.  Poll briefly: children reap asynchronously on some
+    # platforms even after join() returns.
+    import multiprocessing as mp
+    import time
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        leftover = [p for p in mp.active_children() if p not in before]
+        if not leftover:
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"pool workers outlived parallel_map: {leftover}")
+
+
+def test_worker_exception_propagates_and_pool_is_torn_down():
+    import multiprocessing as mp
+    before = mp.active_children()
+    with pytest.raises(ValueError, match="sweep point 7"):
+        parallel_map(_boom, list(range(16)), jobs=4)
+    _assert_no_leftover_children(before)
+
+
+def test_successful_run_leaves_no_children():
+    import multiprocessing as mp
+    before = mp.active_children()
+    assert parallel_map(_boom, [1, 2, 3, 4], jobs=4) == [1, 2, 3, 4]
+    _assert_no_leftover_children(before)
+
+
 def test_cli_jobs_flag_parses():
     from repro.cli import build_parser
     args = build_parser().parse_args(["run", "fig2", "--jobs", "4"])
