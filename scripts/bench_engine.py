@@ -26,6 +26,15 @@ Scenarios
   per-request overhead (hash, run-splitting, health checks) is gated
   against regressions alongside the stacks it fronts.
 
+The three stack scenarios run in *both* engine modes: the canonical
+row measures the batched chunk path (``submit_chunk``), and a
+``-scalar`` companion row measures the per-request oracle loop the
+differential tests compare against, so a regression in either mode —
+or in the batched/scalar speedup itself — trips the CI gate.  The
+``float/*`` and ``submission/*`` scenarios stay scalar-only: they
+benchmark the raw per-request engine against a bare SSD, which has no
+vectorized submission surface.
+
 The output JSON records the git SHA and the repro config (scale, fill,
 seed) so BENCH artifacts from different CI runs are comparable::
 
@@ -46,10 +55,11 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.common.units import KIB                      # noqa: E402
 from repro.harness.context import build_cluster, build_src  # noqa: E402
-from repro.sim.engine import run_streams                # noqa: E402
+from repro.sim.engine import run_chunk_streams, run_streams  # noqa: E402
 from repro.ssd.device import SSDDevice, precondition    # noqa: E402
 from repro.ssd.spec import SATA_MLC_128                 # noqa: E402
-from repro.workloads.fio import uniform_random          # noqa: E402
+from repro.workloads.fio import (uniform_random,        # noqa: E402
+                                 uniform_random_chunks)
 from repro.workloads.replay import replay_group         # noqa: E402
 
 SCALE = 1 / 32
@@ -107,7 +117,29 @@ def _scenario_engine(name: str, requests: int, iodepth: int,
         if result.queue_delay.count else 0.0)
 
 
-def _scenario_src(name: str, requests: int, seed: int) -> dict:
+def _run_target(target, span: int, requests: int, seed: int,
+                batched: bool):
+    """Drive ``target`` with 4 KiB random writes in either engine mode."""
+    def issue(req, now):
+        return target.submit(req, now)
+
+    wall_start = time.perf_counter()
+    if batched:
+        stream = uniform_random_chunks(span, request_size=4 * KIB,
+                                       seed=seed)
+        result = run_chunk_streams(issue, [stream],
+                                   duration=float("inf"),
+                                   max_requests=requests,
+                                   issue_chunk=target.submit_chunk)
+    else:
+        stream = uniform_random(span, request_size=4 * KIB, seed=seed)
+        result = run_streams(issue, [stream], duration=float("inf"),
+                             max_requests=requests)
+    return result, time.perf_counter() - wall_start
+
+
+def _scenario_src(name: str, requests: int, seed: int,
+                  batched: bool = False) -> dict:
     """Full SRC stack under 4 KiB random writes.
 
     The span covers 4x the scaled cache window so the workload
@@ -116,20 +148,13 @@ def _scenario_src(name: str, requests: int, seed: int) -> dict:
     """
     src = build_src(SCALE)
     span = min(src.size, 4 * src.config.cache_space)
-    stream = uniform_random(span, request_size=4 * KIB, seed=seed)
-
-    def issue(req, now):
-        return src.submit(req, now)
-
-    wall_start = time.perf_counter()
-    result = run_streams(issue, [stream], duration=float("inf"),
-                         max_requests=requests)
-    wall = time.perf_counter() - wall_start
-    return _result_row(name, {"stack": "src"}, result.completed_ops,
-                       wall, result.elapsed)
+    result, wall = _run_target(src, span, requests, seed, batched)
+    return _result_row(name, {"stack": "src", "batched": batched},
+                       result.completed_ops, wall, result.elapsed)
 
 
-def _scenario_cluster(name: str, requests: int, seed: int) -> dict:
+def _scenario_cluster(name: str, requests: int, seed: int,
+                      batched: bool = False) -> dict:
     """Router overhead: random writes through a 2-shard cluster.
 
     Same workload shape as ``src/randwrite4k``; the delta between the
@@ -139,28 +164,23 @@ def _scenario_cluster(name: str, requests: int, seed: int) -> dict:
     span = min(router.size,
                4 * next(iter(router.shards.values())).config.cache_space
                * len(router.shards))
-    stream = uniform_random(span, request_size=4 * KIB, seed=seed)
-
-    def issue(req, now):
-        return router.submit(req, now)
-
-    wall_start = time.perf_counter()
-    result = run_streams(issue, [stream], duration=float("inf"),
-                         max_requests=requests)
-    wall = time.perf_counter() - wall_start
-    return _result_row(name, {"stack": "cluster", "shards": 2},
+    result, wall = _run_target(router, span, requests, seed, batched)
+    return _result_row(name, {"stack": "cluster", "shards": 2,
+                              "batched": batched},
                        result.completed_ops, wall, result.elapsed)
 
 
-def _scenario_replay(name: str, requests: int, seed: int) -> dict:
+def _scenario_replay(name: str, requests: int, seed: int,
+                     batched: bool = False) -> dict:
     """MSR-style trace-replay segment against the SRC stack."""
     src = build_src(SCALE)
     wall_start = time.perf_counter()
     result = replay_group(src, "write", scale=SCALE,
                           duration=float("inf"), seed=seed,
-                          max_requests=requests)
+                          max_requests=requests, batched=batched)
     wall = time.perf_counter() - wall_start
-    return _result_row(name, {"stack": "src", "trace_group": "write"},
+    return _result_row(name, {"stack": "src", "trace_group": "write",
+                              "batched": batched},
                        result.completed_ops, wall, result.elapsed)
 
 
@@ -184,11 +204,22 @@ def main(argv=None) -> int:
                          args.seed),
         _scenario_engine("submission/depth32", args.requests, 32, True,
                          args.seed),
-        _scenario_src("src/randwrite4k", args.requests // 2, args.seed),
+        # Canonical stack rows measure the batched chunk path; the
+        # -scalar companions gate the per-request oracle loop.  The
+        # batched randwrite run gets more requests so its (much
+        # shorter) wall time stays measurable.
+        _scenario_src("src/randwrite4k", args.requests * 2, args.seed,
+                      batched=True),
+        _scenario_src("src/randwrite4k-scalar", args.requests // 2,
+                      args.seed),
         _scenario_replay("replay/msr-write", args.requests // 2,
+                         args.seed, batched=True),
+        _scenario_replay("replay/msr-write-scalar", args.requests // 2,
                          args.seed),
         _scenario_cluster("cluster/passthrough", args.requests // 2,
-                          args.seed),
+                          args.seed, batched=True),
+        _scenario_cluster("cluster/passthrough-scalar",
+                          args.requests // 2, args.seed),
     ]
     headline = min(s["reqs_per_sec"] for s in scenarios)
     payload = {

@@ -12,6 +12,14 @@ it is a guard against order-of-magnitude hot-path regressions, not a
 microbenchmark court.  Tune with ``--tolerance`` (a fraction: 0.25 =
 25%) if a runner class is persistently slower.
 
+Scenario pairs ``X`` / ``X-scalar`` (a batched canonical row plus its
+per-request oracle) are additionally gated on their *speedup ratio*,
+which is immune to runner-speed differences: both numbers come from the
+same machine and run.  ``--min-speedup NAME=FLOOR`` (repeatable) fails
+the run if ``X``'s reqs/s falls below ``FLOOR x`` its ``X-scalar``
+companion — the default floor guards the batched SRC write path from
+silently decaying back toward the interpreter loop.
+
 Usage::
 
     python scripts/check_bench_regression.py \
@@ -40,7 +48,25 @@ def main(argv=None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional reqs/s drop per "
                              "scenario (default 0.25 = 25%%)")
+    parser.add_argument("--min-speedup", action="append",
+                        metavar="NAME=FLOOR",
+                        default=None,
+                        help="minimum batched/scalar reqs/s ratio for "
+                             "scenario NAME (whose oracle is "
+                             "NAME-scalar); repeatable; default "
+                             "src/randwrite4k=2.5")
     args = parser.parse_args(argv)
+    speedup_floors = {}
+    for spec in (args.min_speedup
+                 if args.min_speedup is not None
+                 else ["src/randwrite4k=2.5"]):
+        name, _, floor = spec.partition("=")
+        try:
+            speedup_floors[name] = float(floor)
+        except ValueError:
+            print(f"error: bad --min-speedup spec {spec!r}",
+                  file=sys.stderr)
+            return 2
 
     baseline = load_scenarios(args.baseline)
     fresh = load_scenarios(args.fresh)
@@ -67,6 +93,23 @@ def main(argv=None) -> int:
             failures.append(name)
         print(f"{name:>{width}}: {base_rps:>9,} -> {got_rps:>9,} req/s "
               f"({change:+.1%})  {verdict}")
+
+    # Batched-vs-scalar speedup gate: pairs come from the fresh run so
+    # the ratio reflects one machine; floors are set far enough below
+    # the recorded speedup that runner noise cannot trip them, while a
+    # batch path that quietly fell back to the interpreter loop will.
+    for name in sorted(n for n in fresh if f"{n}-scalar" in fresh):
+        fast = fresh[name].get("reqs_per_sec") or 0
+        slow = fresh[f"{name}-scalar"].get("reqs_per_sec") or 0
+        ratio = fast / slow if slow else 0.0
+        floor = speedup_floors.get(name)
+        verdict = "ok" if floor is None else (
+            "ok" if ratio >= floor else "BELOW FLOOR")
+        if floor is not None and ratio < floor:
+            failures.append(f"{name} speedup")
+        floor_note = f" (floor {floor:.1f}x)" if floor is not None else ""
+        print(f"{name:>{width}}: batched/scalar speedup "
+              f"{ratio:.2f}x{floor_note}  {verdict}")
 
     if failures:
         print(f"\nFAIL: {len(failures)} scenario(s) regressed beyond "

@@ -36,13 +36,18 @@ advances and competes with the foreground like any background work.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.block.device import BlockDevice
+from repro.common.chunks import (NO_TENANT, OP_WRITE, ORIGIN_FG,
+                                 request_from_row)
 from repro.common.errors import ConfigError, ReproError
 from repro.common.throttle import ForegroundGuard, TokenBucket
 from repro.common.types import IoOrigin, Op, Request
 from repro.common.units import PAGE_SIZE
+from repro.core.arrays import grow_to
 from repro.obs.events import (MigrationProgress, RouterDegraded,
                               ShardHealthTransition)
 from repro.repair.health import DeviceHealth
@@ -57,6 +62,11 @@ from .volume import ClusterVolume
 # States in which a shard slot serves I/O.  REBUILDING serves: an
 # attached spare warms through ordinary misses while it fills.
 _SERVING = (DeviceHealth.HEALTHY, DeviceHealth.REBUILDING)
+
+_EMPTY_TIMES = np.empty(0, dtype=np.float64)
+
+# Same scalar/vector crossover the SRC core and the FTL use.
+SCALAR_THRESHOLD = 32
 
 
 @dataclass
@@ -127,6 +137,11 @@ class ShardRouter(BlockDevice):
         # Tenant volumes spanning the cluster (repro.cluster.volume).
         self.volumes: Dict[str, object] = {}
         self._alloc_cursor = 0
+        # slab -> owning slot, filled lazily by the batch path (the
+        # blake2b ring hash cannot vectorize, but ownership per slab is
+        # stable between topology changes).  -1 = not yet computed;
+        # dropped whole on any event that can move an arc.
+        self._owner_cache: Optional[np.ndarray] = None
 
     # ==================================================================
     # routing
@@ -139,8 +154,28 @@ class ShardRouter(BlockDevice):
 
         Pending (uncommitted) migration ranges still belong to their
         source — ownership flips per range at commit, never per block.
+        While no ranges are pending, lookups go through the slab owner
+        cache (a blake2b per page otherwise dominates the routing
+        cost); overrides bypass the cache entirely, and every event
+        that can move an arc drops it.
         """
-        point = self.ring.key_hash(block // self.config.slab_blocks)
+        slab = block // self.config.slab_blocks
+        if not self._overrides:
+            cache = self._owner_cache
+            if cache is not None and slab < cache.shape[0]:
+                slot = cache[slab]
+                if slot >= 0:
+                    return int(slot)
+            owner = self.ring.owner_of_hash(self.ring.key_hash(slab))
+            if cache is None:
+                cache = np.full(max(slab + 1, 1024), -1, dtype=np.int32)
+                self._owner_cache = cache
+            elif slab >= cache.shape[0]:
+                cache = grow_to(cache, slab + 1, fill=-1)
+                self._owner_cache = cache
+            cache[slab] = owner
+            return owner
+        point = self.ring.key_hash(slab)
         for move in self._overrides:
             if move.contains(point):
                 return move.source
@@ -203,6 +238,131 @@ class ShardRouter(BlockDevice):
             self._guard.observe(end - now)
         return end
 
+    # ==================================================================
+    # batched submission (repro.sim.engine batch mode)
+    # ==================================================================
+    def _owners_of(self, slabs: np.ndarray) -> np.ndarray:
+        """Vector slab -> slot lookup through the lazy owner cache.
+
+        Only valid while no migration overrides are pending (the batch
+        gates guarantee that); misses run the scalar ring lookup once
+        per distinct slab and stay cached until the topology moves.
+        """
+        cache = self._owner_cache
+        top = int(slabs.max()) + 1
+        if cache is None:
+            cache = np.full(max(top, 1024), -1, dtype=np.int32)
+            self._owner_cache = cache
+        elif top > cache.shape[0]:
+            cache = grow_to(cache, top, fill=-1)
+            self._owner_cache = cache
+        vals = cache[slabs]
+        if (vals < 0).any():
+            ring = self.ring
+            for slab in np.unique(slabs[vals < 0]).tolist():
+                cache[slab] = ring.owner_of_hash(ring.key_hash(slab))
+            vals = cache[slabs]
+        return vals
+
+    def _drop_owner_cache(self) -> None:
+        self._owner_cache = None
+
+    def submit_chunk(self, rows: np.ndarray, start: float,
+                     think_time: float, deadline: float,
+                     limit: int) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Vectorized closed-loop prefix service (batch engine hook).
+
+        Delegates a same-owner run of conformant rows (single-page,
+        page-aligned, untenanted foreground writes) to the owning
+        shard's own ``submit_chunk``, replicating the router-level
+        accounting (device stats, routed counters, foreground-guard
+        observations) the scalar ``submit`` path performs per request.
+        Declines — leaving every row to the scalar oracle — whenever
+        any cluster-level side channel is live: a migration (override
+        ranges re-route mid-chunk), a warming spare (its completion is
+        clocked by ``_tick``), or an attached observer.
+        """
+        n_total = rows.shape[0]
+        if (n_total == 0 or self._migration is not None or self._overrides
+                or self._spare_ready or self.obs.enabled):
+            return _EMPTY_TIMES, _EMPTY_TIMES, 0
+        offsets = rows["offset"]
+        # Bounded scan, widened geometrically only while the whole
+        # window is one conformant same-owner run: consistent hashing
+        # scatters consecutive slabs across shards, so most runs are a
+        # handful of rows and one 64-row pass decides them.
+        scan = 64 if n_total > 64 else n_total
+        slab_blocks = self.config.slab_blocks
+        while True:
+            offs = offsets[:scan]
+            conf = ((rows["op"][:scan] == OP_WRITE)
+                    & (rows["length"][:scan] == PAGE_SIZE)
+                    & (rows["origin"][:scan] == ORIGIN_FG)
+                    & (rows["tenant"][:scan] == NO_TENANT)
+                    & (offs % PAGE_SIZE == 0)
+                    & (offs + PAGE_SIZE <= self.size))
+            nonconf = np.nonzero(~conf)[0]
+            n_conf = int(nonconf[0]) if nonconf.shape[0] else scan
+            if n_conf == 0:
+                return _EMPTY_TIMES, _EMPTY_TIMES, 0
+            owners = self._owners_of(offs[:n_conf] // PAGE_SIZE
+                                     // slab_blocks)
+            slot = int(owners[0])
+            other = np.nonzero(owners != slot)[0]
+            n_run = int(other[0]) if other.shape[0] else n_conf
+            if n_run < scan or scan == n_total:
+                break
+            scan = min(scan * 8, n_total)
+        if n_run < SCALAR_THRESHOLD:
+            # Runs this short (consistent hashing scatters consecutive
+            # slabs) are not worth a vector delegation per owner; serve
+            # the scanned window scalar right here, crossing owner
+            # boundaries, with the exact per-request accounting the
+            # scalar submit path performs.
+            slot_serving = self.slot_serving
+            shards = self.shards
+            stats_record = self.stats.record
+            cs = self.clusterstats
+            guard = self._guard if self._guard.enabled else None
+            owners_list = owners.tolist()
+            lim = limit if limit else n_conf
+            issue_s = np.empty(n_conf, dtype=np.float64)
+            done_s = np.empty(n_conf, dtype=np.float64)
+            t = start
+            k = 0
+            while k < n_conf and k < lim and t < deadline:
+                slot_k = owners_list[k]
+                if not slot_serving(slot_k):
+                    break   # write-around row: engine fallback owns it
+                req = request_from_row(rows[k])
+                end = shards[slot_k].submit(req, t)
+                stats_record(req)
+                cs.routed_writes += 1
+                if guard is not None:
+                    guard.observe(end - t)
+                issue_s[k] = t
+                done_s[k] = end
+                t = end + think_time
+                k += 1
+            return issue_s[:k], done_s[:k], k
+        if not self.slot_serving(slot):
+            return _EMPTY_TIMES, _EMPTY_TIMES, 0
+        shard_chunk = getattr(self.shards[slot], "submit_chunk", None)
+        if shard_chunk is None:
+            return _EMPTY_TIMES, _EMPTY_TIMES, 0
+        issue_t, done_t, n = shard_chunk(rows[:n_run], start, think_time,
+                                         deadline, limit)
+        if n:
+            served = rows[:n]
+            self.stats.record_chunk(served["op"], served["length"],
+                                    served["origin"])
+            self.clusterstats.routed_writes += n
+            if self._guard.enabled:
+                observe = self._guard.observe
+                for latency in (done_t - issue_t).tolist():
+                    observe(latency)
+        return issue_t, done_t, n
+
     def _flush_all(self, req: Request, now: float) -> float:
         end = now
         for slot, shard in self.shards.items():
@@ -249,6 +409,7 @@ class ShardRouter(BlockDevice):
             raise ConfigError("new shard must share the cluster origin")
         slot = self.health.add_slot()
         self.shards[slot] = shard
+        self._drop_owner_cache()
         moves = [RangeMove(lo, hi, source=old, target=slot)
                  for lo, hi, old in self.ring.add(slot)]
         self._start_migration("add", slot, moves, now)
@@ -269,6 +430,7 @@ class ShardRouter(BlockDevice):
             raise MigrationError("cannot remove the last shard")
         moves = [RangeMove(lo, hi, source=slot, target=new)
                  for lo, hi, new in self.ring.remove(slot)]
+        self._drop_owner_cache()
         self._start_migration("remove", slot, moves, now)
 
     def _start_migration(self, op: str, slot: int, moves: List[RangeMove],
@@ -278,6 +440,7 @@ class ShardRouter(BlockDevice):
 
     def _resume_migration(self, now: float, kind: str) -> None:
         """Build the job for the ledger's open intent (fresh or resumed)."""
+        self._drop_owner_cache()
         self._overrides = self.ledger.pending_moves()
         self._migration = MigrationJob(
             self, self._overrides, self.config, self._bucket, self._guard,
@@ -306,6 +469,7 @@ class ShardRouter(BlockDevice):
                 dirty_blocks=job.stats.dirty_blocks_copied))
 
     def _finish_migration(self, now: float) -> None:
+        self._drop_owner_cache()
         job = self._migration
         self._migration = None
         self._overrides = []

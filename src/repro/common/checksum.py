@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import zlib
 
+import numpy as np
+
 
 def crc32(data: bytes, seed: int = 0) -> int:
     """CRC-32 of ``data``, optionally chained from ``seed``."""
@@ -25,6 +27,38 @@ def block_checksum(lba: int, version: int) -> int:
     exactly as a payload CRC would detect it on hardware.
     """
     return crc32(lba.to_bytes(8, "little") + version.to_bytes(8, "little"))
+
+
+def _crc32_table() -> np.ndarray:
+    """The standard reflected CRC-32 (IEEE 802.3) byte table."""
+    table = np.empty(256, dtype=np.uint32)
+    for i in range(256):
+        c = i
+        for _ in range(8):
+            c = (c >> 1) ^ 0xEDB88320 if c & 1 else c >> 1
+        table[i] = c
+    return table
+
+
+_CRC32_TABLE = _crc32_table()
+
+
+def block_checksums_array(lbas: np.ndarray, versions: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`block_checksum` over parallel lba/version columns.
+
+    Runs the byte-at-a-time table CRC across all rows at once: 16
+    vectorized steps (8 LE bytes of lba, 8 of version) instead of one
+    ``zlib.crc32`` call per block.  Bit-identical to the scalar form —
+    ``tests/test_src_arrays.py`` pins the equivalence.
+    """
+    ident = np.empty((lbas.shape[0], 2), dtype="<u8")
+    ident[:, 0] = lbas
+    ident[:, 1] = versions
+    data = ident.view(np.uint8).reshape(lbas.shape[0], 16)
+    crc = np.full(lbas.shape[0], 0xFFFFFFFF, dtype=np.uint32)
+    for col in range(16):
+        crc = _CRC32_TABLE[(crc ^ data[:, col]) & 0xFF] ^ (crc >> 8)
+    return (crc ^ np.uint32(0xFFFFFFFF)).astype(np.int64)
 
 
 def checksum_matches(lba: int, version: int, stored: int) -> bool:

@@ -172,6 +172,65 @@ class IoStats:
         self.bytes_by_origin[key] = (
             self.bytes_by_origin.get(key, 0) + req.length)
 
+    def record_chunk(self, ops, lengths, origin_codes) -> None:
+        """Bulk :meth:`record` over chunk columns (batch engine path).
+
+        ``ops`` / ``origin_codes`` are the small-integer codes of
+        :mod:`repro.common.chunks`; ``lengths`` is in bytes.  Counter
+        updates are identical to calling :meth:`record` once per row —
+        the differential tests hold the two paths to byte equality.
+        """
+        import numpy as np
+        from repro.common.chunks import (OP_FLUSH, OP_READ, OP_TRIM,
+                                         OP_WRITE, origin_of)
+        ops = np.asarray(ops)
+        lengths = np.asarray(lengths)
+        if ops.shape[0] < 32:
+            # Scalar loop under the vector crossover: a short chunk
+            # (mixed-trace write runs are a handful of rows) costs more
+            # in bincount setup than in plain integer adds.
+            by_origin = self.bytes_by_origin
+            origin_list = np.asarray(origin_codes).tolist()
+            lengths_list = lengths.tolist()
+            for i, op in enumerate(ops.tolist()):
+                length = lengths_list[i]
+                if op == OP_READ:
+                    self.read_ops += 1
+                    self.read_bytes += length
+                elif op == OP_WRITE:
+                    self.write_ops += 1
+                    self.write_bytes += length
+                elif op == OP_FLUSH:
+                    self.flush_ops += 1
+                    continue
+                elif op == OP_TRIM:
+                    self.trim_ops += 1
+                    self.trim_bytes += length
+                    continue
+                key = origin_of(origin_list[i]).value
+                by_origin[key] = by_origin.get(key, 0) + length
+            return
+        op_counts = np.bincount(ops, minlength=4)
+        op_bytes = np.bincount(ops, weights=lengths, minlength=4)
+        self.read_ops += int(op_counts[OP_READ])
+        self.read_bytes += int(op_bytes[OP_READ])
+        self.write_ops += int(op_counts[OP_WRITE])
+        self.write_bytes += int(op_bytes[OP_WRITE])
+        self.flush_ops += int(op_counts[OP_FLUSH])
+        self.trim_ops += int(op_counts[OP_TRIM])
+        self.trim_bytes += int(op_bytes[OP_TRIM])
+        # bytes_by_origin accumulates READ/WRITE lengths only.
+        data = (ops == OP_READ) | (ops == OP_WRITE)
+        if data.any():
+            origin_codes = np.asarray(origin_codes)
+            by_origin = np.bincount(origin_codes[data],
+                                    weights=lengths[data])
+            for code, total in enumerate(by_origin):
+                if total:
+                    key = origin_of(code).value
+                    self.bytes_by_origin[key] = (
+                        self.bytes_by_origin.get(key, 0) + int(total))
+
     @property
     def total_bytes(self) -> int:
         return self.read_bytes + self.write_bytes
@@ -231,6 +290,31 @@ class IoStats:
         )
 
 
+def _tuple2_hash_array(a, b):
+    """``hash((int(a_i), int(b_i)))`` over parallel uint64 columns.
+
+    An exact reimplementation of CPython's tuple hash (the xxHash-based
+    scheme of 3.8+) over two non-negative int lanes, where each lane's
+    item hash is the Mersenne-prime reduction ``k % (2**61 - 1)`` CPython
+    uses for ints.  Int hashing is not randomized (PYTHONHASHSEED only
+    affects str/bytes), so this is deterministic across runs — which is
+    what lets the latency reservoir's hash-slotted replacement vectorize
+    while staying bit-identical to the scalar loop.
+    """
+    import numpy as np
+    mersenne = np.uint64((1 << 61) - 1)
+    p1 = np.uint64(11400714785074694791)
+    p2 = np.uint64(14029467366897019727)
+    tail = np.uint64(2 ^ (2870177450012600261 ^ 3527539))
+    acc = np.uint64(2870177450012600261) + (a % mersenne) * p2
+    acc = ((acc << np.uint64(31)) | (acc >> np.uint64(33))) * p1
+    acc += (b % mersenne) * p2
+    acc = ((acc << np.uint64(31)) | (acc >> np.uint64(33))) * p1
+    acc += tail
+    acc[acc == np.uint64(0xFFFFFFFFFFFFFFFF)] = np.uint64(1546275796)
+    return acc.view(np.int64)
+
+
 class LatencyStats:
     """Streaming latency accumulator with approximate percentiles.
 
@@ -266,6 +350,57 @@ class LatencyStats:
             slot = hash((self.count, round(latency * 1e9))) % self.count
             if slot < self._reservoir_size:
                 self._reservoir[slot] = latency
+
+    def record_many(self, latencies) -> None:
+        """Record a column of latencies (batch engine path).
+
+        Bit-identical to calling :meth:`record` per sample: the running
+        total accumulates strictly left-to-right (``np.add.accumulate``,
+        not pairwise ``sum``), and reservoir replacement slots come from
+        :func:`_tuple2_hash_array` — an exact vectorization of CPython's
+        ``hash((count, round(latency * 1e9)))``.  Replacements apply in
+        row order so duplicate slots keep last-writer-wins.
+        """
+        import numpy as np
+        lats = np.asarray(latencies, dtype=np.float64)
+        n = lats.shape[0]
+        if n == 0:
+            return
+        if n < 32:
+            # Below the vector crossover the per-call numpy overhead
+            # (rint, hashing, accumulate) exceeds n scalar records.
+            record = self.record
+            for latency in lats.tolist():
+                record(latency)
+            return
+        count0 = self.count
+        seq = np.empty(n + 1, dtype=np.float64)
+        seq[0] = self.total
+        seq[1:] = lats
+        self.total = float(np.add.accumulate(seq)[-1])
+        peak = float(lats.max())
+        if peak > self.max:
+            self.max = peak
+        reservoir = self._reservoir
+        size = self._reservoir_size
+        fill = min(max(size - len(reservoir), 0), n)
+        if fill:
+            reservoir.extend(lats[:fill].tolist())
+        self.count = count0 + n
+        if fill < n:
+            rest = lats[fill:]
+            counts = np.arange(count0 + fill + 1, count0 + n + 1,
+                               dtype=np.uint64)
+            # round() and np.rint are both exact round-half-to-even on
+            # the same float64 product, so the hashed key is identical.
+            rounded = np.rint(rest * 1e9).astype(np.int64)
+            slots = (_tuple2_hash_array(counts, rounded.astype(np.uint64))
+                     % counts.astype(np.int64))
+            hit = np.nonzero(slots < size)[0]
+            if hit.shape[0]:
+                for slot, lat in zip(slots[hit].tolist(),
+                                     rest[hit].tolist()):
+                    reservoir[slot] = lat
 
     @property
     def mean(self) -> float:

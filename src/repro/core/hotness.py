@@ -5,41 +5,92 @@ drops cold clean data.  Hotness is determined by a per-page bitmap kept
 in RAM: a page is hot if it has been re-referenced since it was last
 given a chance (a second-chance / clock discipline, which is what a
 single bitmap degenerate form of LRU provides).
+
+The bitmap is a flat numpy bool array indexed by LBA (grow-on-demand),
+so the batch path can touch or evict a whole chunk's blocks in one
+vector op while the scalar path reads the same bits element-wise.
 """
 
 from __future__ import annotations
 
-from typing import Set
+import numpy as np
+
+from repro.core.arrays import grow_to
 
 
 class HotnessBitmap:
     """Second-chance hotness bits over origin logical blocks."""
 
+    __slots__ = ("_hot", "_count", "references")
+
     def __init__(self) -> None:
-        self._hot: Set[int] = set()
+        self._hot = np.zeros(1024, dtype=bool)
+        self._count = 0          # None = recount lazily (batch updates)
         self.references = 0
 
     def touch(self, lba: int) -> None:
         """Record a reference (read hit or rewrite)."""
-        self._hot.add(lba)
+        hot = self._hot
+        if lba >= hot.shape[0]:
+            self._hot = hot = grow_to(hot, lba + 1, fill=False)
+        if not hot[lba]:
+            hot[lba] = True
+            if self._count is not None:
+                self._count += 1
         self.references += 1
 
+    def touch_many(self, lbas: np.ndarray) -> None:
+        """Vector ``touch`` — one reference per row, duplicates included."""
+        if lbas.shape[0] == 0:
+            return
+        hot = self._hot
+        top = int(lbas.max()) + 1
+        if top > hot.shape[0]:
+            self._hot = hot = grow_to(hot, top, fill=False)
+        cold = lbas[~hot[lbas]]
+        if cold.shape[0]:
+            # Duplicate rows scatter the same True; the bit count is
+            # recomputed on demand instead of deduplicating here.
+            hot[cold] = True
+            self._count = None
+        self.references += lbas.shape[0]
+
     def is_hot(self, lba: int) -> bool:
-        return lba in self._hot
+        hot = self._hot
+        return bool(hot[lba]) if lba < hot.shape[0] else False
 
     def clear(self, lba: int) -> None:
         """Consume the block's second chance (on GC consideration)."""
-        self._hot.discard(lba)
+        self._discard(lba)
 
     def evict(self, lba: int) -> None:
         """Forget a block that left the cache."""
-        self._hot.discard(lba)
+        self._discard(lba)
+
+    def evict_many(self, lbas: np.ndarray) -> None:
+        if lbas.shape[0] == 0:
+            return
+        hot = self._hot
+        inside = lbas[lbas < hot.shape[0]]
+        stale = inside[hot[inside]]
+        if stale.shape[0]:
+            hot[stale] = False
+            self._count = None
+
+    def _discard(self, lba: int) -> None:
+        hot = self._hot
+        if lba < hot.shape[0] and hot[lba]:
+            hot[lba] = False
+            if self._count is not None:
+                self._count -= 1
 
     @property
     def hot_count(self) -> int:
-        return len(self._hot)
+        if self._count is None:
+            self._count = int(np.count_nonzero(self._hot))
+        return self._count
 
     @property
     def memory_bytes(self) -> int:
         """One bit per tracked page, as the paper's RAM bitmap."""
-        return (len(self._hot) + 7) // 8
+        return (self.hot_count + 7) // 8

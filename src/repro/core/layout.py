@@ -134,6 +134,25 @@ class SegmentLayout:
         offset = self.unit_offset(sg, segment) + (1 + within) * PAGE_SIZE
         return BlockLocation(sg, segment, ssds[unit_index], offset)
 
+    def slot_locations_array(self, sg: int, segment: int, n: int,
+                             with_parity: bool):
+        """Vector :meth:`slot_location` for slots ``0..n-1``.
+
+        Returns ``(ssds, offsets)`` int arrays in slot order — the
+        segment writer installs a whole sealed segment's mappings in
+        one call instead of materializing n BlockLocation objects.
+        """
+        import numpy as np
+        ssd_order = np.asarray(self.data_ssds(sg, segment, with_parity),
+                               dtype=np.int32)
+        per_unit = self.data_blocks_per_unit
+        if n > ssd_order.shape[0] * per_unit:
+            raise ConfigError(f"slot {n - 1} beyond segment capacity")
+        slots = np.arange(n)
+        base = self.unit_offset(sg, segment)
+        offsets = (base + (1 + slots % per_unit) * PAGE_SIZE).astype(np.int64)
+        return ssd_order[slots // per_unit], offsets
+
     def stripe_row_ssds(self, sg: int, segment: int,
                         with_parity: bool) -> Tuple[List[int], int]:
         """(data SSDs, parity SSD) for reconstruct-on-read."""

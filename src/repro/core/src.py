@@ -23,13 +23,19 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.baselines.common import CacheTarget
 from repro.block.device import BlockDevice
-from repro.common.checksum import block_checksum
+from repro.common.checksum import block_checksum, block_checksums_array
+from repro.common.chunks import (NO_TENANT, OP_WRITE, ORIGIN_FG,
+                                 request_from_row)
 from repro.common.errors import (ConfigError, DeviceFailedError,
                                  RaidDegradedError, RequestTimeoutError)
 from repro.common.types import IoOrigin, Op, Request
 from repro.common.units import PAGE_SIZE
+from repro.core.arrays import (B_CLEAN, B_DIRTY, B_MAPPED, B_NONE,
+                               B_STAGING, BlockState, VersionArray)
 from repro.core.buffers import SegmentBuffer, StagingBuffer
 from repro.core.config import (CleanRedundancy, FlushPoint, GcScheme,
                                SrcConfig, VictimPolicy)
@@ -46,6 +52,12 @@ from repro.obs.events import (BackpressureStall, BypassEntered, DegradedRead,
 from repro.repair.controller import RepairController
 
 RAM_LATENCY = 2e-6  # buffer hit / insert latency
+
+# Below this many blocks the scalar loop beats numpy dispatch overhead
+# (the crossover ssd/ftl.py measured); above it the vector path wins.
+SCALAR_THRESHOLD = 32
+
+_EMPTY_TIMES = np.empty(0, dtype=np.float64)
 
 
 @dataclass
@@ -140,13 +152,19 @@ class SrcCache(CacheTarget):
         self.ssds = ssds
         self.config = config
         self.layout = SegmentLayout(config, min(s.size for s in ssds))
-        self.mapping = MappingTable(self.layout.groups)
+        # One residency array shared by mapping, buffers and staging:
+        # a block's cache location is a single uint8 load, and the
+        # batch path masks whole chunks against it.
+        self._state = BlockState()
+        self.mapping = MappingTable(self.layout.groups, state=self._state)
         self.hotness = HotnessBitmap()
         self.dirty_buf = SegmentBuffer(
-            self.layout.dirty_segment_capacity(), dirty=True, name="dirty")
+            self.layout.dirty_segment_capacity(), dirty=True, name="dirty",
+            state=self._state, code=B_DIRTY)
         self.clean_buf = SegmentBuffer(
-            self.layout.clean_segment_capacity(), dirty=False, name="clean")
-        self.staging = StagingBuffer()
+            self.layout.clean_segment_capacity(), dirty=False, name="clean",
+            state=self._state, code=B_CLEAN)
+        self.staging = StagingBuffer(state=self._state)
         self.metadata = metadata if metadata is not None else MetadataStore()
         self.srcstats = SrcStats()
 
@@ -157,7 +175,7 @@ class SrcCache(CacheTarget):
         self._closed_fifo: List[int] = []
         self._sg_sequence = 0
         self.active: _GroupState = self._take_free_group()
-        self._versions: Dict[int, int] = {}
+        self._versions = VersionArray()
         self._last_dirty_write = 0.0
         self._in_gc = False
         # Background reclaim bookkeeping: group index -> simulated time
@@ -379,7 +397,10 @@ class SrcCache(CacheTarget):
             self.srcstats.bypass_writes += 1
             return self.origin_write(block, now)
         self._check_timeout(now)
-        if self.block_cached(block):
+        # One load of the shared residency array replaces the four
+        # membership probes (dirty buf, clean buf, staging, mapping).
+        code = self._state.get(block)
+        if code != B_NONE:
             self.cstats.write_hits += 1
             self.hotness.touch(block)
         else:
@@ -390,12 +411,16 @@ class SrcCache(CacheTarget):
                 # the array footprint stays bounded without stalling it.
                 self.tenants.count_write_around(block)
                 return self.origin_write(block, now)
-        if block in self.dirty_buf:
+        if code == B_DIRTY:
             return now + RAM_LATENCY  # absorbed rewrite
-        # The block's previous incarnations are superseded.
-        self.mapping.invalidate(block)
-        self.clean_buf.remove(block)
-        self.staging.pop(block)
+        # The block's previous incarnation is superseded (a block lives
+        # in at most one structure, so only its holder needs the drop).
+        if code == B_MAPPED:
+            self.mapping.invalidate(block)
+        elif code == B_CLEAN:
+            self.clean_buf.remove(block)
+        elif code == B_STAGING:
+            self.staging.pop(block)
         self._version_of(block, bump=True)
         full = self.dirty_buf.add(block)
         # max(): an in-flight segment write's ack may already extend the
@@ -419,13 +444,14 @@ class SrcCache(CacheTarget):
             self.srcstats.bypass_reads += 1
             return self.origin_read(block, now)
         self._check_timeout(now)
-        if (block in self.dirty_buf or block in self.clean_buf
-                or block in self.staging):
+        code = self._state.get(block)
+        if code != B_NONE and code != B_MAPPED:
+            # RAM-resident: dirty buffer, clean buffer, or staging.
             self.cstats.read_hits += 1
             self.hotness.touch(block)
             return now + RAM_LATENCY
-        entry = self.mapping.lookup(block)
-        if entry is not None:
+        if code == B_MAPPED:
+            entry = self.mapping.lookup(block)
             self.cstats.read_hits += 1
             self.hotness.touch(block)
             return self._cache_read(block, entry, now)
@@ -434,8 +460,7 @@ class SrcCache(CacheTarget):
     def block_cached(self, block: int) -> bool:
         if self.bypass:
             return False
-        return (block in self.dirty_buf or block in self.clean_buf
-                or block in self.staging or block in self.mapping)
+        return self._state.get(block) != B_NONE
 
     def install_fill(self, block: int, now: float) -> None:
         if self.bypass:
@@ -618,31 +643,47 @@ class SrcCache(CacheTarget):
 
     def _write_segment(self, dirty: bool, now: float) -> float:
         buf = self.dirty_buf if dirty else self.clean_buf
-        blocks = buf.drain()
-        if not blocks:
+        blocks_arr = buf.drain_array()
+        n_blocks = blocks_arr.shape[0]
+        if not n_blocks:
             return now
         with_parity = self._segment_parity_flag(dirty)
         capacity = self.layout.segment_data_capacity(with_parity)
-        partial = len(blocks) < capacity
+        partial = n_blocks < capacity
 
         sg, segment, start = self._alloc_segment(now)
         group_done = self.groups[sg].next_segment >= \
             self.layout.segments_per_group
 
-        # Install mappings and build the durable summary.
-        lbas: List[int] = []
-        checksums: List[int] = []
-        versions: List[int] = []
-        for slot, lba in enumerate(blocks):
-            loc = self.layout.slot_location(sg, segment, slot, with_parity)
-            version = self._version_of(lba, bump=False)
-            checksum = block_checksum(lba, version)
-            self.mapping.insert(lba, CacheEntry(
-                location=loc, dirty=dirty, checksum=checksum,
-                version=version))
-            lbas.append(lba)
-            checksums.append(checksum)
-            versions.append(version)
+        # Install mappings and build the durable summary.  Above the
+        # scalar threshold the whole segment installs in one vector
+        # call; drained blocks are never mapped (entering a buffer
+        # invalidated them), so no per-slot invalidate is needed.
+        lbas = blocks_arr.tolist()
+        if n_blocks >= SCALAR_THRESHOLD:
+            ssds, offsets = self.layout.slot_locations_array(
+                sg, segment, n_blocks, with_parity)
+            va = self._versions.ensure(int(blocks_arr.max()) + 1)
+            versions_arr = va[blocks_arr]
+            versions = versions_arr.tolist()
+            checksums_arr = block_checksums_array(blocks_arr, versions_arr)
+            checksums = checksums_arr.tolist()
+            self.mapping.insert_batch(
+                blocks_arr, sg, segment, ssds, offsets, dirty,
+                checksums_arr, versions_arr)
+        else:
+            checksums = []
+            versions = []
+            for slot, lba in enumerate(lbas):
+                loc = self.layout.slot_location(sg, segment, slot,
+                                                with_parity)
+                version = self._version_of(lba, bump=False)
+                checksum = block_checksum(lba, version)
+                self.mapping.insert(lba, CacheEntry(
+                    location=loc, dirty=dirty, checksum=checksum,
+                    version=version))
+                checksums.append(checksum)
+                versions.append(version)
 
         # MS lands with the first pages of the unit writes; ME seals the
         # segment only once they all complete.  A power cut in between
@@ -653,7 +694,7 @@ class SrcCache(CacheTarget):
             + segment + 1,
             dirty=dirty, with_parity=with_parity,
             lbas=lbas, checksums=checksums, versions=versions), torn=True)
-        end = self._issue_unit_writes(sg, segment, len(blocks), with_parity,
+        end = self._issue_unit_writes(sg, segment, n_blocks, with_parity,
                                       start)
         self.metadata.seal_summary(sg, segment)
 
@@ -664,7 +705,7 @@ class SrcCache(CacheTarget):
             self.obs.emit(SegmentSealed(
                 t=end, device=self.name, sg=sg, segment=segment,
                 dirty=dirty, with_parity=with_parity,
-                blocks=len(blocks), partial=partial))
+                blocks=n_blocks, partial=partial))
 
         # flush control (§4.1): per segment, or per SG boundary.
         if (self.config.flush_point is FlushPoint.PER_SEGMENT
@@ -1134,13 +1175,258 @@ class SrcCache(CacheTarget):
     def handle_trim(self, req: Request, now: float) -> float:
         if self.bypass:
             return self.origin.submit(req, now)
-        for block in req.pages():
+        pages = req.pages()
+        n = len(pages)
+        if (n >= SCALAR_THRESHOLD
+                and self.mapping.observer is None
+                and self.dirty_buf.observer is None
+                and self.clean_buf.observer is None):
+            # One residency load classifies the whole range; each
+            # structure drops only the blocks it actually holds (the
+            # scalar loop's calls on the others are no-ops).
+            lbas = np.arange(pages.start, pages.stop, dtype=np.int64)
+            codes = self._state.ensure(int(pages.stop))[lbas]
+            self.mapping.invalidate_many(lbas[codes == B_MAPPED])
+            self.dirty_buf.remove_many(lbas[codes == B_DIRTY])
+            self.clean_buf.remove_many(lbas[codes == B_CLEAN])
+            for lba in lbas[codes == B_STAGING].tolist():
+                self.staging.pop(lba)
+            self.hotness.evict_many(lbas)
+            return now
+        for block in pages:
             self.mapping.invalidate(block)
             self.dirty_buf.remove(block)
             self.clean_buf.remove(block)
             self.staging.pop(block)
             self.hotness.evict(block)
         return now
+
+    # ==================================================================
+    # batched submission (repro.sim.engine batch mode)
+    # ==================================================================
+    def _chunk_fast_ok(self, think_time: float) -> bool:
+        """Whether the vectorized write window may run right now.
+
+        Every gate names a per-request side channel the scalar path
+        could exercise; while any is live, ``submit_chunk`` declines
+        and the engine serves rows through the scalar oracle instead.
+        The gates are re-checked between sub-runs: a boundary row's
+        segment write can flip them (a device failing mid-run attaches
+        spares, starts rebuild jobs, or enters bypass).
+        """
+        return (not self.bypass
+                and self.tenants is None
+                and self.mapping.observer is None
+                and self.dirty_buf.observer is None
+                and self.clean_buf.observer is None
+                and not self.obs.enabled
+                and not self.repair.guard.enabled
+                and not self.repair.jobs
+                and self.config.repair.scrub_interval <= 0
+                and think_time >= 0.0)
+
+    def submit_chunk(self, rows: np.ndarray, start: float,
+                     think_time: float, deadline: float,
+                     limit: int) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Serve a closed-loop (qd1) prefix of ``rows`` vectorized.
+
+        ``rows`` is a :data:`repro.common.chunks.CHUNK_DTYPE` array;
+        the stream issues row ``i+1`` at ``done[i] + think_time``,
+        starting at ``start``, never at or past ``deadline``, and
+        processing at most ``limit`` rows (0 = unbounded).  Returns
+        ``(issue_times, done_times, n_processed)`` — bit-identical to
+        driving the same rows through :meth:`submit` one at a time,
+        which is what the differential suite asserts.
+
+        Only single-page foreground writes vectorize (the randwrite
+        saturation shape).  Within a window, rows are classified off a
+        residency-code snapshot: rewrites of dirty-buffered blocks are
+        RAM-absorbed hits, first-occurrence rows displace their old
+        incarnation and append to the dirty buffer.  A row that seals a
+        segment (the buffer's ``space``-th new block) or trips TWAIT
+        mid-window takes the full scalar path, because everything —
+        GC, backpressure, device faults — can hang off that write.
+        """
+        n_total = rows.shape[0]
+        if n_total == 0 or not self._chunk_fast_ok(think_time):
+            return _EMPTY_TIMES, _EMPTY_TIMES, 0
+        offsets = rows["offset"]
+        # Conformity scan, bounded: scan a short prefix first and only
+        # widen to the full slice if every scanned row conforms — a
+        # trace with short write runs pays for 64 rows, a pure
+        # randwrite chunk pays one extra 64-row pass.
+        scan = 64 if n_total > 64 else n_total
+        while True:
+            offs = offsets[:scan]
+            conf = ((rows["op"][:scan] == OP_WRITE)
+                    & (rows["length"][:scan] == PAGE_SIZE)
+                    & (rows["origin"][:scan] == ORIGIN_FG)
+                    & (rows["tenant"][:scan] == NO_TENANT)
+                    & (offs % PAGE_SIZE == 0)
+                    & (offs + PAGE_SIZE <= self.size))
+            nonconf = np.nonzero(~conf)[0]
+            if nonconf.shape[0]:
+                n_conf = int(nonconf[0])
+                break
+            if scan == n_total:
+                n_conf = n_total
+                break
+            scan = n_total
+        if n_conf < SCALAR_THRESHOLD:
+            # Short (or empty) conformant run: drive the scalar oracle
+            # right here instead of bouncing each row back through the
+            # engine, which would re-run this scan per row.  Rows past
+            # the conformant run still qualify as long as they are
+            # untenanted foreground I/O — anything the engine's own
+            # fallback would account identically (reads, large writes;
+            # SRC never returns Submissions, so queue-delay accounting
+            # never diverges).  The run stops at the first row needing
+            # engine-side handling or opening a new vectorizable span.
+            plain = ((rows["origin"][:scan] == ORIGIN_FG)
+                     & (rows["tenant"][:scan] == NO_TENANT))
+            stop = np.nonzero(~plain | (conf & (np.arange(scan)
+                                                >= n_conf)))[0]
+            n_run = int(stop[0]) if stop.shape[0] else scan
+            if n_run == 0:
+                return _EMPTY_TIMES, _EMPTY_TIMES, 0
+            lim = limit if limit else n_run
+            issue_s = np.empty(n_run, dtype=np.float64)
+            done_s = np.empty(n_run, dtype=np.float64)
+            t = start
+            k = 0
+            while k < n_run and k < lim and t < deadline:
+                end = self.submit(request_from_row(rows[k]), t)
+                issue_s[k] = t
+                done_s[k] = end
+                t = end + think_time
+                k += 1
+            return issue_s[:k], done_s[:k], k
+        blocks = offsets[:n_conf] // PAGE_SIZE
+        t_wait = self.config.t_wait
+        fg_key = IoOrigin.FOREGROUND.value
+        self._active_tenant = None
+
+        issue_parts: List[np.ndarray] = []
+        done_parts: List[np.ndarray] = []
+        t = start
+        done_rows = 0
+        limit_left = limit if limit else n_conf
+        while (done_rows < n_conf and limit_left > 0 and t < deadline
+               and self._chunk_fast_ok(think_time)):
+            # The head row's TWAIT check, exactly where the scalar path
+            # runs it; intermediate rows' checks are no-ops (proven by
+            # the fire mask below) and are skipped.
+            self._check_timeout(t)
+            lastw0 = self._last_dirty_write
+
+            # A sub-run can consume at most ``space`` new blocks before
+            # the segment-sealing boundary row, so scanning much past
+            # that wastes vector work on rows the next sub-run will
+            # re-classify against a fresh snapshot (consumed-row
+            # semantics only ever look *backwards*, so the cap cannot
+            # change results — it is pure lookahead sizing).
+            space = self.dirty_buf.capacity - len(self.dirty_buf)
+            w = min(n_conf - done_rows, limit_left, 4 * space + 64)
+            lb = blocks[done_rows:done_rows + w]
+            codes = self._state.ensure(int(lb.max()) + 1)[lb]
+            order = np.argsort(lb, kind="stable")
+            sorted_lb = lb[order]
+            first_sorted = np.empty(w, dtype=bool)
+            first_sorted[0] = True
+            first_sorted[1:] = sorted_lb[1:] != sorted_lb[:-1]
+            first = np.empty(w, dtype=bool)
+            first[order] = first_sorted
+            # A row absorbs in RAM iff its block is dirty-buffered at
+            # its turn: pre-snapshot B_DIRTY, or a duplicate of an
+            # earlier row in this window.  Everything else displaces
+            # its old incarnation and appends to the dirty buffer.
+            adds = first & (codes != B_DIRTY)
+
+            # Exact per-row times: accumulate adds floats in the same
+            # order the scalar loop's repeated additions do.
+            seq = np.empty(2 * w, dtype=np.float64)
+            seq[0] = t
+            seq[1::2] = RAM_LATENCY
+            seq[2::2] = think_time
+            seq = np.add.accumulate(seq)
+            issue = seq[0::2]
+            done = seq[1::2]
+
+            # Sub-run bound: the row that seals a segment (the buffer's
+            # space-th new block) or would trip TWAIT mid-window (only
+            # absorbed rewrites don't refresh _last_dirty_write, so a
+            # long absorb run can age the buffer past t_wait).  Either
+            # row runs the full scalar path below.
+            add_pos = np.nonzero(adds)[0]
+            bound = (int(add_pos[space - 1])
+                     if add_pos.shape[0] >= space else w)
+            if w > 1:
+                last_add = np.maximum.accumulate(
+                    np.where(adds, issue, -np.inf)[:-1])
+                nonempty = (not self.dirty_buf.empty) | (last_add > -np.inf)
+                fire = nonempty & (issue[1:] - np.maximum(lastw0, last_add)
+                                   > t_wait)
+                fi = np.nonzero(fire)[0]
+                if fi.shape[0] and int(fi[0]) + 1 < bound:
+                    bound = int(fi[0]) + 1
+            n_ok = int(np.searchsorted(issue, deadline, side="left"))
+            k = min(bound, n_ok)
+
+            if k:
+                wl = lb[:k]
+                kcodes = codes[:k]
+                kadds = adds[:k]
+                hits = (kcodes != B_NONE) | ~first[:k]
+                n_hits = int(np.count_nonzero(hits))
+                self.cstats.write_hits += n_hits
+                self.cstats.write_misses += k - n_hits
+                self.hotness.touch_many(wl[hits])
+                add_lbas = wl[kadds]
+                if add_lbas.shape[0]:
+                    acodes = kcodes[kadds]
+                    self.mapping.invalidate_many(
+                        add_lbas[acodes == B_MAPPED])
+                    self.clean_buf.remove_many(add_lbas[acodes == B_CLEAN])
+                    for lba in add_lbas[acodes == B_STAGING].tolist():
+                        self.staging.pop(lba)
+                    va = self._versions.ensure(int(add_lbas.max()) + 1)
+                    va[add_lbas] += 1
+                    self.dirty_buf.add_many(add_lbas)
+                    # Absorbed rewrites don't refresh the TWAIT clock;
+                    # the last *added* row does (scalar line order).
+                    self._last_dirty_write = max(
+                        self._last_dirty_write,
+                        float(issue[int(np.nonzero(kadds)[0][-1])]))
+                self.stats.write_ops += k
+                self.stats.write_bytes += k * PAGE_SIZE
+                self.stats.bytes_by_origin[fg_key] = (
+                    self.stats.bytes_by_origin.get(fg_key, 0)
+                    + k * PAGE_SIZE)
+                issue_parts.append(issue[:k])
+                done_parts.append(done[:k])
+                done_rows += k
+                limit_left -= k
+                t = float(done[k - 1]) + think_time
+
+            if bound < n_ok:
+                # Boundary row: full scalar submit — segment sealing
+                # (GC, backpressure, faults) or a TWAIT flush hangs off
+                # this write.  t == issue[bound] by construction.
+                row = rows[done_rows]
+                done_b = self.submit(
+                    Request(Op.WRITE, int(row["offset"]), PAGE_SIZE), t)
+                issue_parts.append(np.array([t]))
+                done_parts.append(np.array([done_b]))
+                done_rows += 1
+                limit_left -= 1
+                t = done_b + think_time
+            elif n_ok < w:
+                break   # deadline lands inside this window
+
+        if issue_parts:
+            return (np.concatenate(issue_parts),
+                    np.concatenate(done_parts), done_rows)
+        return _EMPTY_TIMES, _EMPTY_TIMES, 0
 
     # ==================================================================
     # shard-extraction hooks (repro.cluster migration)

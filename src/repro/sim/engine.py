@@ -15,18 +15,26 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.block.lifecycle import Submission
+from repro.common.chunks import request_from_row
 from repro.common.errors import ConfigError
 from repro.common.types import IoOrigin, IoStats, LatencyStats, Request
 from repro.common.units import mb_per_sec
 
 # A workload source yields Requests forever (or until exhausted).
 RequestSource = Iterator[Request]
+# A chunked source yields CHUNK_DTYPE structured arrays instead.
+ChunkSource = Iterator["np.ndarray"]
 # The system under test: (request, issue_time) -> completion time, or a
 # Submission carrying the full issue/begin/done lifecycle.
 IssueFn = Callable[[Request, float], "float | Submission"]
+# Vectorized variant: (rows, start, think_time, deadline, limit) ->
+# (issue_times, done_times, n_processed).  Processing a prefix (or
+# nothing) is always legal; the engine serves the next row through the
+# scalar IssueFn and retries.
+IssueChunkFn = Callable[..., "Tuple"]
 
 # Streams are interleaved through a heap of plain (next_time, index,
 # stream) tuples.  The unique per-stream index breaks time ties before
@@ -54,6 +62,9 @@ class JobStream:
     inflate its percentiles.
     """
 
+    __slots__ = ("source", "think_time", "name", "iodepth", "stats",
+                 "latency", "exhausted", "_inflight")
+
     def __init__(self, source: RequestSource, think_time: float = 0.0,
                  name: str = "", iodepth: int = 1):
         if iodepth < 1:
@@ -74,7 +85,13 @@ class JobStream:
         budget it waits for its earliest outstanding completion (plus
         think time), which is what makes iodepth contended rather than
         a free fan-out.
+
+        The classic qd1 closed loop skips the in-flight heap entirely:
+        with one slot, the request just pushed is the one popped, so
+        the answer is always its own completion plus think time.
         """
+        if self.iodepth == 1:
+            return done + self.think_time
         heapq.heappush(self._inflight, done)
         if len(self._inflight) < self.iodepth:
             return issue_time
@@ -86,6 +103,66 @@ class JobStream:
         except StopIteration:
             self.exhausted = True
             return None
+
+
+class ChunkStream:
+    """A qd1 closed-loop stream fed by a chunked source.
+
+    The source yields :data:`repro.common.chunks.CHUNK_DTYPE` arrays;
+    the stream serves rows in order, handing the engine whole row
+    *slices* so a vectorized target (``issue_chunk``) can process an
+    entire closed-loop run in one call.  It also speaks the scalar
+    protocol (:meth:`next_request` / :meth:`slot_free_after`), so the
+    same source drives the per-request oracle path unchanged — which is
+    how the differential tests force both modes over one workload.
+    """
+
+    iodepth = 1   # chunked batching models the classic qd1 closed loop
+
+    __slots__ = ("source", "think_time", "name", "tenant_names", "stats",
+                 "latency", "exhausted", "_chunk", "_pos")
+
+    def __init__(self, source: ChunkSource, think_time: float = 0.0,
+                 name: str = "", tenant_names: Optional[List[str]] = None):
+        self.source = source
+        self.think_time = think_time
+        self.name = name
+        self.tenant_names = tenant_names
+        self.stats = IoStats()
+        self.latency = LatencyStats()
+        self.exhausted = False
+        self._chunk = None
+        self._pos = 0
+
+    def next_rows(self):
+        """Remaining rows of the current chunk (fetching the next).
+
+        Returns ``None`` once the source is exhausted.
+        """
+        if self._chunk is None or self._pos >= len(self._chunk):
+            try:
+                self._chunk = next(self.source)
+            except StopIteration:
+                self.exhausted = True
+                return None
+            self._pos = 0
+            if len(self._chunk) == 0:
+                return self.next_rows()
+        return self._chunk[self._pos:]
+
+    def advance(self, n: int) -> None:
+        self._pos += n
+
+    # -- scalar-oracle protocol ----------------------------------------
+    def next_request(self) -> Optional[Request]:
+        rows = self.next_rows()
+        if rows is None:
+            return None
+        self._pos += 1
+        return request_from_row(rows[0], self.tenant_names)
+
+    def slot_free_after(self, issue_time: float, done: float) -> float:
+        return done + self.think_time
 
 
 @dataclass
@@ -127,15 +204,40 @@ class Engine:
     """Drives a set of job streams against an issue function.
 
     ``sampler`` (any object with ``observe(now, stats)``, normally a
-    :class:`repro.obs.sampler.Sampler`) is called after every request
-    completion with the cumulative counters, enabling periodic
-    time-series capture without touching the issue path.
+    :class:`repro.obs.sampler.Sampler`) is called after request
+    completions with the cumulative counters, enabling periodic
+    time-series capture without touching the issue path.  By default it
+    observes every completion; ``sample_stride`` decimates to every
+    N-th completion, and ``sample_interval`` (seconds of simulated
+    time, overriding stride when set) to at most one observation per
+    interval.  Either way observations still carry the duration-clamped
+    completion time, so the series never leaks past the run window.
+
+    ``issue_chunk`` (optional) is the vectorized companion of
+    ``issue``: given a structured-array row slice, a start time, the
+    stream's think time, a deadline and a request budget, it issues a
+    prefix of the rows in one call and returns their exact issue/done
+    time columns.  When it is set, a sampler is not, and every stream
+    is a :class:`ChunkStream`, :meth:`run` switches to the batched
+    loop; any row the chunk path declines falls back to ``issue``
+    one-at-a-time, so results are bit-identical to the scalar loop.
     """
 
-    def __init__(self, issue: IssueFn, sampler=None):
+    def __init__(self, issue: IssueFn, sampler=None,
+                 sample_stride: int = 1, sample_interval: float = 0.0,
+                 issue_chunk: Optional[IssueChunkFn] = None):
+        if sample_stride < 1:
+            raise ConfigError(
+                f"sample_stride must be >= 1, got {sample_stride}")
+        if sample_interval < 0:
+            raise ConfigError(
+                f"sample_interval must be >= 0, got {sample_interval}")
         self.issue = issue
         self.streams: List[JobStream] = []
         self.sampler = sampler
+        self.sample_stride = sample_stride
+        self.sample_interval = sample_interval
+        self.issue_chunk = issue_chunk
 
     def add_stream(self, stream: JobStream) -> None:
         self.streams.append(stream)
@@ -147,6 +249,10 @@ class Engine:
         ``max_requests`` (if nonzero) bounds the total number of issued
         requests, which keeps unit tests fast.
         """
+        if (self.issue_chunk is not None and self.sampler is None
+                and self.streams
+                and all(isinstance(s, ChunkStream) for s in self.streams)):
+            return self._run_batched(duration, max_requests)
         heap: List[tuple] = [(0.0, i, stream)
                              for i, stream in enumerate(self.streams)]
         heapq.heapify(heap)
@@ -163,6 +269,9 @@ class Engine:
         # of the engine's own overhead at millions of requests.
         issue = self.issue
         sampler = self.sampler
+        sample_stride = self.sample_stride
+        sample_interval = self.sample_interval
+        next_sample_t = 0.0
         heappop = heapq.heappop
         heappush = heapq.heappush
         totals_record = totals.record
@@ -200,7 +309,12 @@ class Engine:
             if sampler is not None:
                 # Completions can land past the run window (the last
                 # in-flight requests); samples stay inside it.
-                sampler.observe(clipped, totals)
+                if sample_interval > 0.0:
+                    if clipped >= next_sample_t:
+                        sampler.observe(clipped, totals)
+                        next_sample_t = clipped + sample_interval
+                elif sample_stride <= 1 or completed % sample_stride == 0:
+                    sampler.observe(clipped, totals)
             if clipped > end_time:
                 end_time = clipped
             if max_requests and issued >= max_requests:
@@ -224,6 +338,119 @@ class Engine:
         return RunResult(elapsed=elapsed, stats=totals, latency=latencies,
                          completed_ops=completed, queue_delay=queue_delays)
 
+    def _run_batched(self, duration: float, max_requests: int) -> RunResult:
+        """Chunked closed-loop run, bit-identical to the scalar loop.
+
+        Streams still interleave through the (time, index) heap, but
+        when a stream reaches the front the whole span until the next
+        stream's turn (the *horizon*) is handed to ``issue_chunk`` as
+        one row slice.  The chunk path issues the longest prefix it can
+        prove equivalent to per-request submission and returns exact
+        issue/done columns; whatever it declines (a non-conformant row,
+        a closed fast-path gate, a horizon tie) is served through the
+        scalar ``issue`` function — the same code path, one row at a
+        time — and the loop continues.  Ties at the horizon re-enter
+        the heap, where the per-stream index restores scalar ordering.
+        """
+        heap: List[tuple] = [(0.0, i, stream)
+                             for i, stream in enumerate(self.streams)]
+        heapq.heapify(heap)
+
+        totals = IoStats()
+        latencies = LatencyStats()
+        queue_delays = LatencyStats()
+        completed = 0
+        end_time = 0.0
+        issued = 0
+
+        issue = self.issue
+        issue_chunk = self.issue_chunk
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        foreground = IoOrigin.FOREGROUND
+
+        while heap:
+            issue_time, index, stream = heappop(heap)
+            if issue_time >= duration:
+                continue
+            rows = stream.next_rows()
+            if rows is None:
+                continue
+            deadline = duration
+            if heap and heap[0][0] < deadline:
+                deadline = heap[0][0]
+            limit = max_requests - issued if max_requests else 0
+            issue_t, done_t, n = issue_chunk(rows, issue_time,
+                                             stream.think_time,
+                                             deadline, limit)
+            if n:
+                stream.advance(n)
+                done = rows[:n]
+                ops = done["op"]
+                lengths = done["length"]
+                origins = done["origin"]
+                stream.stats.record_chunk(ops, lengths, origins)
+                totals.record_chunk(ops, lengths, origins)
+                # Chunk-conformant rows are foreground by construction,
+                # so every one feeds the latency reservoirs.
+                lats = done_t - issue_t
+                stream.latency.record_many(lats)
+                latencies.record_many(lats)
+                completed += n
+                issued += n
+                last_done = float(done_t[-1])   # done times are monotone
+                clipped = last_done if last_done < duration else duration
+                if clipped > end_time:
+                    end_time = clipped
+                if max_requests and issued >= max_requests:
+                    break
+                heappush(heap, (last_done + stream.think_time,
+                                index, stream))
+                continue
+            # Chunk path declined the head row: serve it exactly as the
+            # scalar loop would and come back around.
+            request = stream.next_request()
+            if request is None:
+                continue
+            is_fg = request.origin is foreground
+            result = issue(request, issue_time)
+            if isinstance(result, Submission):
+                done_one = result.done_t
+                if is_fg:
+                    queue_delays.record(result.begin_t - result.issue_t)
+            else:
+                done_one = result
+            if done_one < issue_time:
+                raise AssertionError(
+                    f"completion {done_one} precedes issue {issue_time}")
+            stream.stats.record(request)
+            totals.record(request)
+            if is_fg:
+                latency = done_one - issue_time
+                stream.latency.record(latency)
+                latencies.record(latency)
+            completed += 1
+            issued += 1
+            clipped = done_one if done_one < duration else duration
+            if clipped > end_time:
+                end_time = clipped
+            if max_requests and issued >= max_requests:
+                break
+            if is_fg:
+                heappush(heap, (stream.slot_free_after(issue_time, done_one),
+                                index, stream))
+            else:
+                heappush(heap, (issue_time + stream.think_time,
+                                index, stream))
+
+        elapsed = duration if duration != float("inf") else end_time
+        if duration != float("inf") and end_time < duration and not heap:
+            elapsed = end_time
+        if max_requests and issued >= max_requests:
+            elapsed = end_time
+        return RunResult(elapsed=elapsed, stats=totals, latency=latencies,
+                         completed_ops=completed, queue_delay=queue_delays)
+
 
 def run_streams(issue: IssueFn, sources: List[RequestSource],
                 duration: float = float("inf"),
@@ -236,4 +463,23 @@ def run_streams(issue: IssueFn, sources: List[RequestSource],
     for i, source in enumerate(sources):
         engine.add_stream(JobStream(source, think_time, name=f"job{i}",
                                     iodepth=iodepth))
+    return engine.run(duration=duration, max_requests=max_requests)
+
+
+def run_chunk_streams(issue: IssueFn, chunk_sources: List[ChunkSource],
+                      duration: float = float("inf"),
+                      think_time: float = 0.0,
+                      max_requests: int = 0,
+                      issue_chunk: Optional[IssueChunkFn] = None,
+                      tenant_names: Optional[List[str]] = None) -> RunResult:
+    """Convenience wrapper for chunked sources: one ChunkStream each.
+
+    With ``issue_chunk`` set the run takes the batched loop; without
+    it the same streams drive the scalar loop row by row, which is the
+    forced-scalar side of the differential tests.
+    """
+    engine = Engine(issue, issue_chunk=issue_chunk)
+    for i, source in enumerate(chunk_sources):
+        engine.add_stream(ChunkStream(source, think_time, name=f"job{i}",
+                                      tenant_names=tenant_names))
     return engine.run(duration=duration, max_requests=max_requests)

@@ -3,6 +3,16 @@
 The paper's microbenchmarks use FIO with a Uniform Random distribution,
 4 KiB requests, iodepth 32 and 4 threads; we model outstanding I/O as
 one request stream per (thread x queue slot), each closed-loop.
+
+Each generator comes in two shapes over one body: the ``*_chunks``
+variant yields :data:`~repro.common.chunks.CHUNK_DTYPE` structured
+arrays for the batched engine, and the classic per-request generator is
+the same chunks flattened through
+:func:`~repro.common.chunks.requests_from_chunk`.  Vector RNG draws
+(``rng.integers(0, n, size=k)``) consume the PCG64 bitstream exactly as
+k scalar draws do, so the request sequences are bit-identical to the
+historical scalar generators — both shapes are constant-memory
+iterators, never materializing the full workload.
 """
 
 from __future__ import annotations
@@ -11,9 +21,66 @@ from typing import Iterator, List
 
 import numpy as np
 
+from repro.common.chunks import (DEFAULT_CHUNK_REQUESTS, OP_CODE, OP_FLUSH,
+                                 OP_READ, OP_WRITE, empty_chunk, make_chunk,
+                                 requests_from_chunk)
 from repro.common.errors import ConfigError
-from repro.common.types import Op, Request, flush
+from repro.common.types import Op, Request
 from repro.common.units import KIB, PAGE_SIZE
+
+
+def _with_flushes(chunk: np.ndarray, data_issued: int,
+                  flush_every: int) -> np.ndarray:
+    """Insert a FLUSH row after every ``flush_every``-th data row.
+
+    ``data_issued`` is the data-request count before this chunk, so the
+    cadence carries across chunk boundaries exactly like the scalar
+    generator's running counter.
+    """
+    n = len(chunk)
+    seq = np.arange(1, n + 1) + data_issued
+    after = (seq % flush_every == 0)
+    n_flush = int(np.count_nonzero(after))
+    if n_flush == 0:
+        return chunk
+    # Destination of data row i shifts right by the flushes before it.
+    shift = np.zeros(n, dtype=np.int64)
+    np.cumsum(after[:-1], out=shift[1:])
+    dest = np.arange(n) + shift
+    out = empty_chunk(n + n_flush)
+    out[dest] = chunk
+    flush_dest = dest[after] + 1
+    out["time"][flush_dest] = 0.0
+    out["offset"][flush_dest] = 0
+    out["length"][flush_dest] = 0
+    out["op"][flush_dest] = OP_FLUSH
+    out["origin"][flush_dest] = chunk["origin"][0]
+    out["tenant"][flush_dest] = chunk["tenant"][0]
+    return out
+
+
+def uniform_random_chunks(span: int, request_size: int = 4 * KIB,
+                          op: Op = Op.WRITE, seed: int = 0,
+                          align: int = PAGE_SIZE,
+                          flush_every: int = 0,
+                          chunk_requests: int = DEFAULT_CHUNK_REQUESTS
+                          ) -> Iterator[np.ndarray]:
+    """Chunked :func:`uniform_random`: same draws, structured arrays."""
+    if request_size <= 0 or span < request_size:
+        raise ConfigError("span must cover at least one request")
+    if chunk_requests <= 0:
+        raise ConfigError("chunk_requests must be positive")
+    rng = np.random.default_rng(seed)
+    slots = max(1, (span - request_size) // align + 1)
+    op_code = OP_CODE[op]
+    issued = 0
+    while True:
+        offsets = rng.integers(0, slots, size=chunk_requests) * align
+        chunk = make_chunk(offsets, request_size, op_code)
+        if flush_every:
+            chunk = _with_flushes(chunk, issued, flush_every)
+            issued += chunk_requests
+        yield chunk
 
 
 def uniform_random(span: int, request_size: int = 4 * KIB,
@@ -25,17 +92,57 @@ def uniform_random(span: int, request_size: int = 4 * KIB,
     ``flush_every`` inserts a FLUSH after that many data requests
     (Table 3's flush-impact experiment).
     """
+    for chunk in uniform_random_chunks(span, request_size, op, seed,
+                                       align, flush_every):
+        for request in requests_from_chunk(chunk):
+            yield request
+
+
+def sequential_chunks(span: int, request_size: int = 128 * KIB,
+                      op: Op = Op.WRITE, start: int = 0,
+                      flush_every_bytes: int = 0,
+                      chunk_requests: int = DEFAULT_CHUNK_REQUESTS
+                      ) -> Iterator[np.ndarray]:
+    """Chunked :func:`sequential`: same offsets, structured arrays."""
     if request_size <= 0 or span < request_size:
         raise ConfigError("span must cover at least one request")
-    rng = np.random.default_rng(seed)
-    slots = max(1, (span - request_size) // align + 1)
-    issued = 0
+    if chunk_requests <= 0:
+        raise ConfigError("chunk_requests must be positive")
+    op_code = OP_CODE[op]
+    offset = start
+    since_flush = 0
     while True:
-        offset = int(rng.integers(0, slots)) * align
-        yield Request(op, offset, request_size)
-        issued += 1
-        if flush_every and issued % flush_every == 0:
-            yield flush()
+        # Replay the scalar wrap/flush state machine over one chunk's
+        # worth of rows; both conditions depend only on running sums,
+        # so a small python loop builds the columns without Requests.
+        offsets = np.empty(chunk_requests, dtype=np.int64)
+        flush_after = np.zeros(chunk_requests, dtype=bool)
+        for i in range(chunk_requests):
+            if offset + request_size > span:
+                offset = 0
+            offsets[i] = offset
+            offset += request_size
+            since_flush += request_size
+            if flush_every_bytes and since_flush >= flush_every_bytes:
+                since_flush = 0
+                flush_after[i] = True
+        chunk = make_chunk(offsets, request_size, op_code)
+        n_flush = int(np.count_nonzero(flush_after))
+        if n_flush:
+            shift = np.zeros(chunk_requests, dtype=np.int64)
+            np.cumsum(flush_after[:-1], out=shift[1:])
+            dest = np.arange(chunk_requests) + shift
+            out = empty_chunk(chunk_requests + n_flush)
+            out[dest] = chunk
+            flush_dest = dest[flush_after] + 1
+            out["time"][flush_dest] = 0.0
+            out["offset"][flush_dest] = 0
+            out["length"][flush_dest] = 0
+            out["op"][flush_dest] = OP_FLUSH
+            out["origin"][flush_dest] = chunk["origin"][0]
+            out["tenant"][flush_dest] = chunk["tenant"][0]
+            chunk = out
+        yield chunk
 
 
 def sequential(span: int, request_size: int = 128 * KIB,
@@ -46,24 +153,21 @@ def sequential(span: int, request_size: int = 128 * KIB,
     ``flush_every_bytes`` issues a FLUSH after each that-many bytes
     (the paper flushes each 512 KiB of sequential writes in Table 3).
     """
-    if request_size <= 0 or span < request_size:
-        raise ConfigError("span must cover at least one request")
-    offset = start
-    since_flush = 0
-    while True:
-        if offset + request_size > span:
-            offset = 0
-        yield Request(op, offset, request_size)
-        offset += request_size
-        since_flush += request_size
-        if flush_every_bytes and since_flush >= flush_every_bytes:
-            since_flush = 0
-            yield flush()
+    for chunk in sequential_chunks(span, request_size, op, start,
+                                   flush_every_bytes):
+        for request in requests_from_chunk(chunk):
+            yield request
 
 
 def mixed(span: int, read_fraction: float, request_size: int = 4 * KIB,
           seed: int = 0) -> Iterator[Request]:
-    """Uniform random mix of reads and writes."""
+    """Uniform random mix of reads and writes.
+
+    Kept scalar: the historical generator alternates offset and
+    read/write draws per request, an RNG consumption order a columnar
+    generator cannot reproduce.  :func:`mixed_chunks` is the chunked
+    equivalent with its own (batch-order) draw sequence.
+    """
     if not 0.0 <= read_fraction <= 1.0:
         raise ConfigError("read_fraction must be in [0,1]")
     rng = np.random.default_rng(seed)
@@ -72,6 +176,30 @@ def mixed(span: int, read_fraction: float, request_size: int = 4 * KIB,
         offset = int(rng.integers(0, slots)) * PAGE_SIZE
         op = Op.READ if rng.random() < read_fraction else Op.WRITE
         yield Request(op, offset, request_size)
+
+
+def mixed_chunks(span: int, read_fraction: float,
+                 request_size: int = 4 * KIB, seed: int = 0,
+                 chunk_requests: int = DEFAULT_CHUNK_REQUESTS
+                 ) -> Iterator[np.ndarray]:
+    """Chunked uniform random read/write mix.
+
+    Draws offsets then ops column-wise per chunk, so the sequence
+    differs from :func:`mixed` (documented there); within the chunked
+    world it is the single source both engine paths share.
+    """
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ConfigError("read_fraction must be in [0,1]")
+    if request_size <= 0 or span < request_size:
+        raise ConfigError("span must cover at least one request")
+    rng = np.random.default_rng(seed)
+    slots = max(1, (span - request_size) // PAGE_SIZE + 1)
+    while True:
+        offsets = rng.integers(0, slots, size=chunk_requests) * PAGE_SIZE
+        reads = rng.random(chunk_requests) < read_fraction
+        chunk = make_chunk(offsets, request_size, OP_WRITE)
+        chunk["op"][reads] = OP_READ
+        yield chunk
 
 
 def fio_job_streams(span: int, request_size: int = 4 * KIB,
@@ -84,5 +212,16 @@ def fio_job_streams(span: int, request_size: int = 4 * KIB,
     """
     return [
         uniform_random(span, request_size, op, seed=seed * 1000 + i)
+        for i in range(iodepth * threads)
+    ]
+
+
+def fio_job_chunk_streams(span: int, request_size: int = 4 * KIB,
+                          op: Op = Op.WRITE, iodepth: int = 32,
+                          threads: int = 4, seed: int = 0
+                          ) -> List[Iterator[np.ndarray]]:
+    """Chunked :func:`fio_job_streams` — same seeds, same sequences."""
+    return [
+        uniform_random_chunks(span, request_size, op, seed=seed * 1000 + i)
         for i in range(iodepth * threads)
     ]

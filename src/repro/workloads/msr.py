@@ -18,6 +18,8 @@ from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
+from repro.common.chunks import (DEFAULT_CHUNK_REQUESTS, OP_READ, OP_WRITE,
+                                 empty_chunk, requests_from_chunk)
 from repro.common.errors import ConfigError
 from repro.common.types import Op, Request
 from repro.common.units import GB, KB, KIB, PAGE_SIZE
@@ -171,25 +173,76 @@ class SyntheticTrace:
         pages = 1 + extra
         return min(MAX_REQUEST, pages * PAGE_SIZE)
 
+    def chunks(self, chunk_requests: int = DEFAULT_CHUNK_REQUESTS
+               ) -> Iterator["np.ndarray"]:
+        """Endless chunked request stream (the replayer bounds duration).
+
+        The trace state machine draws conditionally — a sequential-run
+        continuation consumes one RNG value where a fresh Zipf pick
+        consumes another generator's — so the columns are built by
+        replaying the exact per-row loop, just without materializing
+        ``Request`` objects.  :meth:`requests` flattens these chunks,
+        so both engine paths replay the identical trace.
+        """
+        next_seq = -1
+        spec = self.spec
+        seq_prob = spec.seq_prob
+        read_ratio = spec.read_ratio
+        n_blocks = self.n_blocks
+        region_start = self.region_start
+        rng_random = self._rng.random
+        zipf_sample = self._zipf.sample
+        request_size = self._request_size
+        while True:
+            chunk = empty_chunk(chunk_requests)
+            offsets = chunk["offset"]
+            lengths = chunk["length"]
+            ops = chunk["op"]
+            for i in range(chunk_requests):
+                size = request_size()
+                nblocks = size // PAGE_SIZE
+                if next_seq >= 0 and rng_random() < seq_prob:
+                    start_block = next_seq  # continue the sequential run
+                else:
+                    start_block = zipf_sample()
+                start_block = min(start_block, n_blocks - nblocks)
+                start_block = max(0, start_block)
+                next_seq = start_block + nblocks
+                if next_seq + nblocks > n_blocks:
+                    next_seq = -1           # run hit the volume end
+                offsets[i] = region_start + start_block * PAGE_SIZE
+                lengths[i] = size
+                ops[i] = (OP_READ if rng_random() < read_ratio
+                          else OP_WRITE)
+            chunk["time"] = 0.0
+            chunk["origin"] = 0
+            chunk["tenant"] = -1
+            yield chunk
+
     def requests(self) -> Iterator[Request]:
         """Endless request stream (the replayer bounds duration)."""
-        next_seq = -1
-        while True:
-            size = self._request_size()
-            nblocks = size // PAGE_SIZE
-            if next_seq >= 0 and self._rng.random() < self.spec.seq_prob:
-                start_block = next_seq      # continue the sequential run
-            else:
-                start_block = self._zipf.sample()
-            start_block = min(start_block, self.n_blocks - nblocks)
-            start_block = max(0, start_block)
-            next_seq = start_block + nblocks
-            if next_seq + nblocks > self.n_blocks:
-                next_seq = -1               # run hit the volume end
-            offset = self.region_start + start_block * PAGE_SIZE
-            op = (Op.READ if self._rng.random() < self.spec.read_ratio
-                  else Op.WRITE)
-            yield Request(op, offset, size)
+        for chunk in self.chunks():
+            for request in requests_from_chunk(chunk):
+                yield request
+
+
+def _group_traces(group: str, scale: float, seed: int,
+                  threads_per_trace: int, footprint_cap_gb: float
+                  ) -> Tuple[List[SyntheticTrace], int]:
+    traces: List[SyntheticTrace] = []
+    region = 0
+    effective_scale = scale * _ws_factor(group)
+    for t_index, spec in enumerate(group_specs(group)):
+        trace_seed = seed * 10_000 + t_index * 100
+        footprint = _scaled_footprint(spec, effective_scale,
+                                      footprint_cap_gb)
+        for thread in range(threads_per_trace):
+            traces.append(SyntheticTrace(spec, region_start=region,
+                                         scale=effective_scale,
+                                         seed=trace_seed + thread,
+                                         footprint_cap_gb=footprint_cap_gb))
+        region += footprint
+    return traces, region
 
 
 def build_group(group: str, scale: float = 1.0, seed: int = 0,
@@ -202,18 +255,17 @@ def build_group(group: str, scale: float = 1.0, seed: int = 0,
     ``threads_per_trace`` threads.  Returns (streams, total span in
     bytes) — size the origin volume to at least the span.
     """
-    streams: List[Iterator[Request]] = []
-    region = 0
-    effective_scale = scale * _ws_factor(group)
-    for t_index, spec in enumerate(group_specs(group)):
-        trace_seed = seed * 10_000 + t_index * 100
-        footprint = _scaled_footprint(spec, effective_scale,
-                                      footprint_cap_gb)
-        for thread in range(threads_per_trace):
-            trace = SyntheticTrace(spec, region_start=region,
-                                   scale=effective_scale,
-                                   seed=trace_seed + thread,
-                                   footprint_cap_gb=footprint_cap_gb)
-            streams.append(trace.requests())
-        region += footprint
-    return streams, region
+    traces, region = _group_traces(group, scale, seed, threads_per_trace,
+                                   footprint_cap_gb)
+    return [trace.requests() for trace in traces], region
+
+
+def build_group_chunks(group: str, scale: float = 1.0, seed: int = 0,
+                       threads_per_trace: int = 4,
+                       footprint_cap_gb: float = 0.0
+                       ) -> Tuple[List[Iterator["np.ndarray"]], int]:
+    """Chunked counterpart of :func:`build_group` (same traces, seeds
+    and interleaving; each stream yields structured-array chunks)."""
+    traces, region = _group_traces(group, scale, seed, threads_per_trace,
+                                   footprint_cap_gb)
+    return [trace.chunks() for trace in traces], region

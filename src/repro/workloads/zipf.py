@@ -10,10 +10,15 @@ different regions of the volume.
 
 from __future__ import annotations
 
+from typing import Iterator
 
 import numpy as np
 
+from repro.common.chunks import (DEFAULT_CHUNK_REQUESTS, OP_CODE, make_chunk,
+                                 requests_from_chunk)
 from repro.common.errors import ConfigError
+from repro.common.types import Op, Request
+from repro.common.units import KIB, PAGE_SIZE
 
 
 class ZipfSampler:
@@ -61,3 +66,37 @@ class ZipfSampler:
         """
         cutoff = max(1, int(self.n * top))
         return float(self._cdf[cutoff - 1])
+
+
+def zipf_chunks(span: int, request_size: int = 4 * KIB,
+                theta: float = 0.99, op: Op = Op.WRITE, seed: int = 0,
+                chunk_requests: int = DEFAULT_CHUNK_REQUESTS
+                ) -> Iterator[np.ndarray]:
+    """Chunked Zipf-skewed request stream over ``span`` bytes, forever.
+
+    Offsets are page-aligned with Zipf(``theta``) popularity; the
+    vector draw (:meth:`ZipfSampler.sample_many`) consumes the RNG
+    bitstream exactly as repeated scalar :meth:`ZipfSampler.sample`
+    calls do, so :func:`zipf_requests` (the flattened form) is
+    bit-identical row for row.
+    """
+    if request_size <= 0 or span < request_size:
+        raise ConfigError("span must cover at least one request")
+    if chunk_requests <= 0:
+        raise ConfigError("chunk_requests must be positive")
+    slots = max(1, (span - request_size) // PAGE_SIZE + 1)
+    sampler = ZipfSampler(slots, theta=theta, seed=seed)
+    op_code = OP_CODE[op]
+    while True:
+        offsets = (sampler.sample_many(chunk_requests).astype(np.int64)
+                   * PAGE_SIZE)
+        yield make_chunk(offsets, request_size, op_code)
+
+
+def zipf_requests(span: int, request_size: int = 4 * KIB,
+                  theta: float = 0.99, op: Op = Op.WRITE, seed: int = 0
+                  ) -> Iterator[Request]:
+    """Scalar form of :func:`zipf_chunks` — same rows, Request objects."""
+    for chunk in zipf_chunks(span, request_size, theta, op, seed):
+        for request in requests_from_chunk(chunk):
+            yield request

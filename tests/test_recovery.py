@@ -197,7 +197,7 @@ def test_recovery_after_gc_reflects_reclaimed_groups():
     # blocks_recovered counts replayed slots (duplicates superseded);
     # the resulting mapping is bounded by the summaries' unique LBAs.
     assert recovered.mapping.valid_blocks() <= len(live_before)
-    assert set(recovered.mapping._map) <= live_before
+    assert {lba for lba, _ in recovered.mapping.items()} <= live_before
     recovered.mapping.check_invariants()
 
 

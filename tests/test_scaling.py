@@ -22,7 +22,7 @@ def populate(cache, n_blocks=400):
 
 
 def cached_blocks(cache):
-    persisted = set(cache.mapping._map)
+    persisted = {lba for lba, _ in cache.mapping.items()}
     buffered = set(cache.dirty_buf.peek()) | set(cache.clean_buf.peek())
     return persisted | buffered
 
@@ -39,7 +39,7 @@ def test_expand_preserves_contents():
 def test_expand_preserves_dirty_flags():
     cache = make_src()
     populate(cache)
-    dirty_before = {lba for lba, e in cache.mapping._map.items()
+    dirty_before = {lba for lba, e in cache.mapping.items()
                     if e.dirty} | set(cache.dirty_buf.peek())
     new_cache, _ = expand_array(cache, SSDDevice(TINY_SSD, name="new"))
     for lba in dirty_before:
