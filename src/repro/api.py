@@ -130,6 +130,44 @@ def run_cluster(es: ExperimentScale = DEFAULT_SCALE,
     return exp_cluster.run(es, jobs=jobs)
 
 
+def run_chaos(scenarios: Optional[List[str]] = None,
+              budget: Optional[int] = 40,
+              frontier_path: Optional[str] = None,
+              seed: int = 0, ops: Optional[int] = None,
+              composed: bool = True) -> dict:
+    """The chaos verification layer (``repro chaos``).
+
+    Explores up to ``budget`` unexplored crash points per scenario
+    (``None`` = exhaust the space, the nightly mode) against the
+    resumable frontier at ``frontier_path``, then runs one
+    composed-fault scheduler pass.  Returns a JSON-ready payload whose
+    ``"ok"`` is False iff any oracle, invariant, or differential
+    violation was found.
+    """
+    from repro.chaos import (ChaosScheduler, CrashFrontier,
+                             CrashPointExplorer, SCENARIOS)
+    names = list(scenarios) if scenarios else list(SCENARIOS)
+    explorer = CrashPointExplorer(
+        seed=seed, **({"ops": ops} if ops else {}),
+        frontier=CrashFrontier(frontier_path))
+    payload: dict = {"scenarios": {}, "composed": None, "ok": True}
+    for name in names:
+        report = explorer.explore(name, budget=budget)
+        payload["scenarios"][name] = {
+            "discovered": report.discovered,
+            "explored_total": report.explored_total,
+            "explored_now": report.explored_now,
+            "remaining": report.remaining,
+            "violations": report.violations,
+        }
+        payload["ok"] = payload["ok"] and report.ok
+    if composed:
+        composed_report = ChaosScheduler(seed=seed).run()
+        payload["composed"] = composed_report.as_dict()
+        payload["ok"] = payload["ok"] and composed_report.ok
+    return payload
+
+
 def generate_report(es: ExperimentScale, output: str,
                     quick_label: str = "") -> None:
     """Run every experiment and write the markdown report."""

@@ -1,0 +1,500 @@
+"""Systematic crash-point exploration (chaos pillar 2).
+
+The seeded torture harness (:mod:`repro.harness.exp_faults`) *samples*
+crash points: seeds × points draw write-count and wall-clock cuts and
+hope the interesting windows get hit.  This module replaces sampling
+with enumeration.  Every durability site in a scenario — each metadata
+summary write (MS), each segment seal (ME), each destage ack reaching
+the origin, each migration-ledger transition, each hot-spare attach —
+is instrumented; a **pilot run** of the deterministic workload counts
+how often each site fires, which defines the exact crash-point space:
+
+    ``site#ordinal:pre``   power cut *just before* the site's Nth firing
+    ``site#ordinal:post``  power cut *just after* it completed
+
+An **armed run** replays the identical workload and raises
+:class:`~repro.common.errors.PowerCutError` at exactly one point, then
+recovery runs and the integrity oracle plus the invariant monitors
+audit the survivors.  Because pilot and armed runs share one seed and
+the instrumentation is count-based, exploration is exactly
+reproducible point by point.
+
+The space is large (hundreds of points per scenario), so exploration
+is budgeted and **resumable**: a :class:`CrashFrontier` persists the
+discovered space and each point's verdict to JSON
+(``CHAOS_frontier.json`` by convention); CI explores a bounded number
+of new points per run, the nightly job passes ``budget=None`` and
+exhausts whatever remains.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.chaos.invariants import (check_cluster_ownership,
+                                    check_group_accounting, check_ledger,
+                                    check_repair, check_residency)
+from repro.chaos.oracle import IntegrityOracle
+from repro.cluster import ShardRouter
+from repro.common.errors import PowerCutError
+from repro.common.types import Op, Request
+from repro.common.units import GIB, MIB, PAGE_SIZE
+from repro.core.config import RepairConfig
+from repro.core.recovery import recover
+from repro.faults import FaultInjector, FaultPlan
+from repro.harness.exp_faults import (LBA_SPAN, OPS_PER_CASE,
+                                      TORTURE_CLUSTER, TORTURE_CONFIG,
+                                      _build_cluster_shard, _build_stack)
+from repro.hdd.backend import PrimaryStorage
+from repro.hdd.disk import DiskSpec
+
+SCENARIOS = ("src", "cluster")
+
+# The src scenario runs with one hot spare and a deterministic early
+# member fail-stop, so the spare-attach and rebuild durability sites
+# exist in every run (scrub is off: it adds runtime, not new sites).
+SRC_CHAOS_CONFIG = replace(TORTURE_CONFIG, repair=RepairConfig(
+    hot_spares=1, rebuild_rate=2 * MIB, scrub_interval=0.0))
+
+
+def point_id(site: str, ordinal: int, flavor: str) -> str:
+    return f"{site}#{ordinal}:{flavor}"
+
+
+class _Instrument:
+    """Count durability-site firings; optionally trip a power cut.
+
+    ``site()`` shadows a bound method with a counting wrapper.  The
+    wrapper is pure bookkeeping until ``armed`` names one
+    ``(site, ordinal, flavor)``; then the matching firing raises
+    :class:`PowerCutError` before (``pre``) or after (``post``) the
+    wrapped call runs.  Counting is identical either way, which is
+    what makes pilot and armed runs comparable.
+    """
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+        self.discovered: List[Tuple[str, int]] = []
+        self.armed: Optional[Tuple[str, int, str]] = None
+        self.fired: Optional[str] = None
+        # Set once the workload window closes: recovery and resumed
+        # migrations drive the same methods, but those firings belong
+        # to the recovery path, not the explorable crash space.
+        self.disabled = False
+
+    def site(self, obj, attr: str, site: str,
+             only: Optional[Callable] = None) -> None:
+        inner = getattr(obj, attr)
+
+        def wrapped(*args, **kwargs):
+            if self.disabled or (only is not None
+                                 and not only(*args, **kwargs)):
+                return inner(*args, **kwargs)
+            ordinal = self.counts.get(site, 0)
+            self.counts[site] = ordinal + 1
+            self.discovered.append((site, ordinal))
+            if self.armed == (site, ordinal, "pre"):
+                self.fired = point_id(site, ordinal, "pre")
+                raise PowerCutError(f"chaos: cut before {site}#{ordinal}")
+            result = inner(*args, **kwargs)
+            if self.armed == (site, ordinal, "post"):
+                self.fired = point_id(site, ordinal, "post")
+                raise PowerCutError(f"chaos: cut after {site}#{ordinal}")
+            return result
+
+        setattr(obj, attr, wrapped)
+
+    def points(self) -> List[str]:
+        """Every crash point the run exposed, in firing order."""
+        ids = []
+        for site, ordinal in self.discovered:
+            ids.append(point_id(site, ordinal, "pre"))
+            ids.append(point_id(site, ordinal, "post"))
+        return ids
+
+
+@dataclass
+class PointResult:
+    """One explored crash point's verdict."""
+
+    point: str
+    crashed: bool
+    ops_before_crash: int
+    torn_at_crash: int
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict:
+        return {"ok": self.ok, "crashed": self.crashed,
+                "ops": self.ops_before_crash,
+                "torn": self.torn_at_crash,
+                "violations": self.violations}
+
+
+@dataclass
+class ExplorationReport:
+    """What one budgeted exploration pass covered."""
+
+    scenario: str
+    discovered: int = 0
+    explored_total: int = 0
+    explored_now: int = 0
+    remaining: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class CrashFrontier:
+    """Resumable record of the crash-point space and its verdicts."""
+
+    VERSION = 1
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self.data = {"version": self.VERSION, "scenarios": {}}
+        if path is not None and os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                loaded = json.load(handle)
+            if loaded.get("version") == self.VERSION:
+                self.data = loaded
+
+    def scenario(self, name: str) -> dict:
+        return self.data["scenarios"].setdefault(
+            name, {"seed": None, "discovered": [], "explored": {}})
+
+    def set_discovered(self, name: str, seed: int,
+                       points: List[str]) -> None:
+        entry = self.scenario(name)
+        if entry["seed"] is not None and entry["seed"] != seed:
+            # A different workload seed defines a different space:
+            # start that scenario's frontier over.
+            entry.update({"seed": seed, "discovered": [], "explored": {}})
+        entry["seed"] = seed
+        entry["discovered"] = list(points)
+        # Points that vanished from the space (harness change) are
+        # dropped so `remaining` stays truthful.
+        entry["explored"] = {p: v for p, v in entry["explored"].items()
+                             if p in set(points)}
+
+    def unexplored(self, name: str) -> List[str]:
+        entry = self.scenario(name)
+        return [p for p in entry["discovered"]
+                if p not in entry["explored"]]
+
+    def record(self, name: str, result: PointResult) -> None:
+        self.scenario(name)["explored"][result.point] = result.as_dict()
+        self.save()
+
+    def explored_count(self, name: str) -> int:
+        return len(self.scenario(name)["explored"])
+
+    def violations(self, name: Optional[str] = None) -> List[str]:
+        out = []
+        names = [name] if name else list(self.data["scenarios"])
+        for scenario_name in names:
+            entry = self.scenario(scenario_name)
+            for point, verdict in entry["explored"].items():
+                for violation in verdict.get("violations", []):
+                    out.append(f"{scenario_name}:{point}: {violation}")
+        return out
+
+    def save(self) -> None:
+        if self.path is None:
+            return
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(self.data, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, self.path)
+
+
+class CrashPointExplorer:
+    """Enumerate and explore the crash-point space of each scenario."""
+
+    def __init__(self, seed: int = 0, ops: int = OPS_PER_CASE,
+                 frontier: Optional[CrashFrontier] = None) -> None:
+        self.seed = seed
+        self.ops = ops
+        self.frontier = frontier if frontier is not None else CrashFrontier()
+
+    # ------------------------------------------------------------------
+    # deterministic workload
+    # ------------------------------------------------------------------
+    def _drive(self, submit, oracle: IntegrityOracle, in_dirty,
+               read_verify=None, events=None) -> Tuple[int, bool, List[str]]:
+        """The shared seeded op loop; returns (ops, crashed, problems)."""
+        rng = random.Random((self.seed << 16) ^ 0x5EED)
+        problems: List[str] = []
+        now = 0.0
+        completed = 0
+        try:
+            for op_index in range(self.ops):
+                if events is not None:
+                    events(op_index, now)
+                lba = rng.randrange(LBA_SPAN)
+                draw = rng.random()
+                if draw < 0.70:
+                    req = Request(Op.WRITE, lba * PAGE_SIZE, PAGE_SIZE)
+                elif draw < 0.95:
+                    req = Request(Op.READ, lba * PAGE_SIZE, PAGE_SIZE)
+                else:
+                    req = Request(Op.FLUSH)
+                if req.op is Op.WRITE:
+                    # Issued before submit: the cache bumps the block's
+                    # version while handling the request, so a crash
+                    # mid-op may durably seal this very version.
+                    oracle.note_write(lba)
+                end = submit(req, now)
+                oracle.sweep_sealed(in_dirty)
+                if req.op is Op.READ and read_verify is not None:
+                    problems.extend(oracle.verify_read(read_verify, lba))
+                completed += 1
+                now = max(now, end) + 10e-6
+        except PowerCutError:
+            return completed, True, problems
+        return completed, False, problems
+
+    # ------------------------------------------------------------------
+    # scenario: single SRC stack (spare + rebuild in play)
+    # ------------------------------------------------------------------
+    def _run_src(self, armed: Optional[Tuple[str, int, str]]) -> Tuple[
+            _Instrument, PointResult]:
+        cache, ssds, spares, origin, metadata = _build_stack(
+            config=SRC_CHAOS_CONFIG)
+        inst = _Instrument()
+        inst.site(metadata, "write_summary", "ms-write")
+        inst.site(metadata, "seal_summary", "me-seal")
+        inst.site(origin, "submit", "destage-ack",
+                  only=lambda req, now: req.op is Op.WRITE)
+        inst.site(cache.repair, "_try_attach", "spare-attach")
+        inst.armed = armed
+        # Deterministic early member loss: every run exercises the
+        # spare attach and the rebuild's durability sites.
+        ssds[0].plan = FaultPlan(seed=self.seed).fail_stop(at=0.004)
+
+        oracle = IntegrityOracle()
+        completed, crashed, live_problems = self._drive(
+            cache.submit, oracle,
+            lambda b: b in cache.dirty_buf, read_verify=cache)
+
+        # The machine is dead; only durable state may speak now.
+        inst.disabled = True
+        inst.armed = None
+        torn_before = [(s.sg, s.segment) for s in metadata.all_summaries()
+                       if not s.consistent]
+        for injector in ssds + spares + [origin]:
+            injector.disarm()
+        recovered, report = recover(list(cache.ssds), origin,
+                                    SRC_CHAOS_CONFIG, metadata)
+
+        violations = list(live_problems)
+        violations += oracle.verify_cache(recovered)
+        violations += oracle.verify_durability([recovered],
+                                               origin.written_pages)
+        if report.segments_discarded != len(torn_before):
+            violations.append(
+                f"discarded {report.segments_discarded} segments, "
+                f"expected {len(torn_before)} torn")
+        violations += check_group_accounting(recovered)
+        violations += check_residency(recovered)
+        violations += check_repair(recovered)
+        point = (point_id(*armed) if armed is not None else "(pilot)")
+        return inst, PointResult(point=point, crashed=crashed,
+                                 ops_before_crash=completed,
+                                 torn_at_crash=len(torn_before),
+                                 violations=violations)
+
+    # ------------------------------------------------------------------
+    # scenario: 2-shard cluster with an online shard add mid-run
+    # ------------------------------------------------------------------
+    def _run_cluster(self, armed: Optional[Tuple[str, int, str]]) -> Tuple[
+            _Instrument, PointResult]:
+        origin = FaultInjector(
+            PrimaryStorage(n_disks=2, disk_spec=DiskSpec(capacity=2 * GIB)),
+            name="fault-origin", record_writes=True)
+        shards, ssd_groups, metadatas = [], [], []
+        for index in range(TORTURE_CLUSTER.n_shards):
+            shard, ssds, metadata = _build_cluster_shard(
+                f"shard{index}", origin)
+            shards.append(shard)
+            ssd_groups.append(ssds)
+            metadatas.append(metadata)
+        new_shard, new_ssds, new_metadata = _build_cluster_shard(
+            "shard-new", origin)
+        router = ShardRouter(shards, origin, TORTURE_CLUSTER,
+                             name="chaos-cluster")
+
+        inst = _Instrument()
+        for shard, metadata in zip(shards + [new_shard],
+                                   metadatas + [new_metadata]):
+            inst.site(metadata, "write_summary", f"{shard.name}.ms-write")
+            inst.site(metadata, "seal_summary", f"{shard.name}.me-seal")
+        inst.site(router.ledger, "begin", "ledger-begin")
+        inst.site(router.ledger, "record", "ledger-commit")
+        inst.site(router.ledger, "complete", "ledger-complete")
+        inst.site(origin, "submit", "destage-ack",
+                  only=lambda req, now: req.op is Op.WRITE)
+        inst.armed = armed
+
+        add_at = self.ops // 3
+
+        def events(op_index: int, now: float) -> None:
+            if op_index == add_at:
+                router.add_shard(new_shard, now)
+
+        all_shards = shards + [new_shard]
+        oracle = IntegrityOracle()
+        completed, crashed, live_problems = self._drive(
+            router.submit, oracle,
+            lambda b: any(b in s.dirty_buf for s in all_shards),
+            events=events)
+
+        inst.disabled = True
+        inst.armed = None
+        all_metadata = metadatas + [new_metadata]
+        torn = [(s.sg, s.segment) for m in all_metadata
+                for s in m.all_summaries() if not s.consistent]
+        for injectors in ssd_groups + [new_ssds]:
+            for injector in injectors:
+                injector.disarm()
+        origin.disarm()
+
+        ledger = router.ledger
+        # The durable record of the topology change is the ledger, not
+        # the dead router's memory: ``add_shard`` mutates its in-memory
+        # shard table *before* ``ledger.begin``, so a cut in between
+        # leaves the slot present in RAM while durably the add never
+        # happened.  The add completed iff the intent closed after a
+        # ``ledger.complete`` actually executed (the site counter
+        # increments pre-call, so a cut *at* complete leaves the
+        # ledger active and correctly lands in the resume branch).
+        add_completed = (not ledger.active
+                         and inst.counts.get("ledger-complete", 0) > 0)
+        recovered = []
+        discarded = 0
+        for shard, metadata in zip(all_shards, all_metadata):
+            cache, report = recover(list(shard.ssds), origin,
+                                    TORTURE_CONFIG, metadata)
+            cache.name = shard.name
+            recovered.append(cache)
+            discarded += report.segments_discarded
+
+        violations = list(live_problems)
+        if discarded != len(torn):
+            violations.append(
+                f"discarded {discarded} segments, expected "
+                f"{len(torn)} torn")
+
+        resume_at = 10.0
+        if add_completed:
+            config3 = replace(TORTURE_CLUSTER, n_shards=3)
+            rebuilt = ShardRouter(recovered, origin, config3,
+                                  ledger=ledger, name="chaos-cluster")
+            rebuilt.recover_interrupted(resume_at)
+        else:
+            rebuilt = ShardRouter(recovered[:2], origin, TORTURE_CLUSTER,
+                                  ledger=ledger, name="chaos-cluster")
+            rebuilt.recover_interrupted(
+                resume_at,
+                new_shard=recovered[2] if ledger.active else None)
+            t = resume_at
+            for _ in range(200_000):
+                if rebuilt._migration is None:
+                    break
+                rebuilt.pump(t)
+                t += 1e-3
+            else:
+                violations.append("resumed migration did not complete")
+            rebuilt.reconcile(t)
+
+        # Cross-shard audits.  Versions are shard-local (migration
+        # re-logs a block under the target's counter), so the oracle
+        # checks checksum self-consistency and dirty survival, not
+        # exact version equality.
+        violations += oracle.verify_durability(
+            rebuilt.shards.values(), origin.written_pages,
+            exact_versions=False)
+        for shard in rebuilt.shards.values():
+            for problem in (oracle.verify_cache(shard,
+                                                exact_versions=False)
+                            + check_group_accounting(shard)
+                            + check_residency(shard)):
+                violations.append(f"{shard.name}: {problem}")
+        violations += check_ledger(rebuilt.ledger)
+        violations += check_cluster_ownership(rebuilt)
+
+        point = (point_id(*armed) if armed is not None else "(pilot)")
+        return inst, PointResult(point=point, crashed=crashed,
+                                 ops_before_crash=completed,
+                                 torn_at_crash=len(torn),
+                                 violations=violations)
+
+    # ------------------------------------------------------------------
+    # enumeration + budgeted, resumable exploration
+    # ------------------------------------------------------------------
+    def _runner(self, scenario: str):
+        if scenario == "src":
+            return self._run_src
+        if scenario == "cluster":
+            return self._run_cluster
+        raise ValueError(f"unknown chaos scenario {scenario!r}; "
+                         f"have {SCENARIOS}")
+
+    @staticmethod
+    def parse_point(point: str) -> Tuple[str, int, str]:
+        site, _, rest = point.rpartition("#")
+        ordinal, _, flavor = rest.partition(":")
+        return site, int(ordinal), flavor
+
+    def discover(self, scenario: str) -> List[str]:
+        """Pilot run: enumerate the scenario's crash-point space.
+
+        The pilot also acts as the no-fault control: its own recovery
+        and oracle audit must already be clean, otherwise the scenario
+        is broken before any crash is injected.
+        """
+        inst, pilot = self._runner(scenario)(None)
+        if pilot.violations:
+            raise AssertionError(
+                f"chaos pilot for {scenario!r} is not clean: "
+                + "; ".join(pilot.violations[:5]))
+        points = inst.points()
+        self.frontier.set_discovered(scenario, self.seed, points)
+        self.frontier.save()
+        return points
+
+    def explore_point(self, scenario: str, point: str) -> PointResult:
+        """Run one armed crash point end to end and record the verdict."""
+        _, result = self._runner(scenario)(self.parse_point(point))
+        self.frontier.record(scenario, result)
+        return result
+
+    def explore(self, scenario: str,
+                budget: Optional[int] = None) -> ExplorationReport:
+        """Explore up to ``budget`` unexplored points (None = all)."""
+        entry = self.frontier.scenario(scenario)
+        if not entry["discovered"] or entry["seed"] != self.seed:
+            self.discover(scenario)
+        pending = self.frontier.unexplored(scenario)
+        take = pending if budget is None else pending[:budget]
+        report = ExplorationReport(
+            scenario=scenario,
+            discovered=len(entry["discovered"]))
+        for point in take:
+            result = self.explore_point(scenario, point)
+            report.explored_now += 1
+            for violation in result.violations:
+                report.violations.append(f"{point}: {violation}")
+        report.explored_total = self.frontier.explored_count(scenario)
+        report.remaining = len(self.frontier.unexplored(scenario))
+        return report

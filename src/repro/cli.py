@@ -278,6 +278,34 @@ def cmd_cluster(args) -> int:
     return 1 if result_violations(result) else 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.api import run_chaos, to_json
+    budget = None if args.budget <= 0 else args.budget
+    scenarios = None if args.scenario == "all" else [args.scenario]
+    payload = run_chaos(scenarios=scenarios, budget=budget,
+                        frontier_path=args.frontier, seed=args.seed,
+                        ops=args.ops, composed=not args.skip_composed)
+    if args.format == "json":
+        print(to_json(payload))
+    else:
+        for name, entry in payload["scenarios"].items():
+            print(f"{name}: {entry['explored_now']} explored now, "
+                  f"{entry['explored_total']}/{entry['discovered']} total, "
+                  f"{entry['remaining']} remaining")
+            for violation in entry["violations"]:
+                print(f"  violation: {violation}")
+        composed = payload["composed"]
+        if composed is not None:
+            print(f"composed: faults={','.join(composed['faults_composed'])} "
+                  f"gc={composed['gc_collections']} "
+                  f"checks={composed['invariant_checks']} "
+                  f"differential_ok={composed['differential_ok']}")
+            for violation in composed["violations"]:
+                print(f"  violation: {violation}")
+        print("chaos: OK" if payload["ok"] else "chaos: VIOLATIONS")
+    return 0 if payload["ok"] else 1
+
+
 def cmd_export_trace(args) -> int:
     from repro.api import export_synthetic_trace
     with open(args.output, "w", encoding="utf-8") as sink:
@@ -358,6 +386,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="table (default) or json with telemetry")
     _add_scale_flags(cluster)
 
+    chaos = sub.add_parser(
+        "chaos", help="chaos verification: crash-point exploration + "
+                      "composed-fault scheduler")
+    chaos.add_argument("--budget", type=int, default=40,
+                       help="new crash points to explore per scenario "
+                            "(<=0 explores everything: nightly mode)")
+    chaos.add_argument("--scenario", choices=("all", "src", "cluster"),
+                       default="all")
+    chaos.add_argument("--frontier", default=None, metavar="FILE",
+                       help="resumable frontier JSON (e.g. "
+                            "CHAOS_frontier.json); omitted = in-memory")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="workload seed (changing it resets the "
+                            "frontier's scenario)")
+    chaos.add_argument("--ops", type=int, default=None,
+                       help="override ops per exploration run")
+    chaos.add_argument("--skip-composed", action="store_true",
+                       help="skip the composed-fault scheduler pass")
+    chaos.add_argument("--format", choices=("table", "json"),
+                       default="table")
+
     export = sub.add_parser("export-trace",
                             help="export a synthetic trace as MSR CSV")
     export.add_argument("trace")
@@ -381,6 +430,7 @@ def main(argv=None) -> int:
         "faults": cmd_faults,
         "rebuild": cmd_rebuild,
         "cluster": cmd_cluster,
+        "chaos": cmd_chaos,
     }
     try:
         return handlers[args.command](args)

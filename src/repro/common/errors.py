@@ -34,7 +34,16 @@ class TransientIOError(ReproError):
     retries, link resets) that commodity SSDs return long before they
     fail-stop.  Raised by :class:`repro.faults.FaultInjector`; consumed
     by the bounded-retry policies in SRC and the RAID layer.
+
+    ``at`` is the simulated time the failure was *observed* — a drive
+    that takes milliseconds to report a command timeout burns that time
+    out of the caller's retry budget, so deadline-aware retry loops
+    resume from ``at``, not from the issue time.
     """
+
+    def __init__(self, message: str = "", at=None):
+        super().__init__(message)
+        self.at = at
 
 
 class RequestTimeoutError(ReproError):

@@ -212,6 +212,21 @@ class SrcCache(CacheTarget):
         self.tenants = None
         self._active_tenant: Optional[str] = None
 
+        # Cached batched-path gate: None = recompute on next chunk.
+        # Every event that can change a gate input invalidates it —
+        # observer attach (mapping/buffer callbacks below), obs attach
+        # (the ``obs`` property), repair activity (RepairController),
+        # bypass entry, tenancy attach, fault-plan arming (injector
+        # callbacks below) — so ``submit_chunk`` pays one attribute
+        # load per chunk instead of ten predicate checks.
+        self._chunk_gate: Optional[bool] = None
+        self.mapping.on_observer_change = self.invalidate_chunk_gate
+        self.dirty_buf.on_observer_change = self.invalidate_chunk_gate
+        self.clean_buf.on_observer_change = self.invalidate_chunk_gate
+        for member in self.ssds:
+            self.watch_member_faults(member)
+        self.watch_member_faults(origin)
+
         if self.metadata.superblock is None:
             self.metadata.format(Superblock(
                 magic=SRC_MAGIC, create_time=create_time,
@@ -268,6 +283,54 @@ class SrcCache(CacheTarget):
     def spares(self) -> List[BlockDevice]:
         """Unattached hot spares (walked by the observability attach)."""
         return self.repair.spares
+
+    # ==================================================================
+    # batched-path gate invalidation
+    # ==================================================================
+    @property
+    def obs(self):
+        return self._obs
+
+    @obs.setter
+    def obs(self, recorder) -> None:
+        # Telemetry only changes by (re)assignment (obs.recorder.attach
+        # / detach walk the tree setting this attribute), so the setter
+        # is the single choke point the cached chunk gate needs.
+        self._obs = recorder
+        self._chunk_gate = None
+
+    def invalidate_chunk_gate(self) -> None:
+        """Force :meth:`_chunk_fast_ok` to re-derive its cached verdict.
+
+        Called by everything that can change a gate input: observer
+        (re)assignment on the mapping/buffers, repair-job and spare
+        mutations, bypass entry, tenancy attach, fault-plan arming.
+        """
+        self._chunk_gate = None
+
+    def watch_member_faults(self, device) -> None:
+        """Subscribe to ``device``'s fault-plan changes (if injectable).
+
+        A :class:`~repro.faults.FaultInjector` fires ``on_plan_change``
+        on every plan (re)assignment; an armed plan anywhere in the
+        array must flip the chunk gate so the vectorized window
+        declines and faults fire on the scalar path that can observe
+        them.
+        """
+        if hasattr(device, "on_plan_change"):
+            device.on_plan_change = self._member_plan_changed
+
+    def _member_plan_changed(self, _injector) -> None:
+        self._chunk_gate = None
+
+    def _armed_fault_live(self) -> bool:
+        """True while any member (or the origin) has an armed plan."""
+        for device in self.ssds:
+            plan = getattr(device, "plan", None)
+            if plan is not None and getattr(plan, "armed", False):
+                return True
+        plan = getattr(self.origin, "plan", None)
+        return plan is not None and getattr(plan, "armed", False)
 
     # ==================================================================
     # resilient SSD submission (retry/backoff, fail-slow, bypass)
@@ -363,6 +426,7 @@ class SrcCache(CacheTarget):
         if self.bypass:
             return
         self.bypass = True
+        self._chunk_gate = None
         lost = self.mapping.dirty_count + len(self.dirty_buf)
         self.srcstats.bypass_lost_dirty += lost
         self.repair.enter_bypass(now)
@@ -1210,11 +1274,17 @@ class SrcCache(CacheTarget):
         Every gate names a per-request side channel the scalar path
         could exercise; while any is live, ``submit_chunk`` declines
         and the engine serves rows through the scalar oracle instead.
-        The gates are re-checked between sub-runs: a boundary row's
-        segment write can flip them (a device failing mid-run attaches
-        spares, starts rebuild jobs, or enters bypass).
+        The verdict is a *cached* predicate: everything that can flip a
+        gate input invalidates it (:meth:`invalidate_chunk_gate` — a
+        boundary row's segment write failing mid-run attaches spares,
+        starts rebuild jobs, arms bypass; observers, telemetry and
+        fault plans attach through notifying setters), so the sub-run
+        recheck is one attribute load, not ten predicate evaluations.
         """
-        return (not self.bypass
+        gate = self._chunk_gate
+        if gate is None:
+            gate = self._chunk_gate = (
+                not self.bypass
                 and self.tenants is None
                 and self.mapping.observer is None
                 and self.dirty_buf.observer is None
@@ -1223,7 +1293,8 @@ class SrcCache(CacheTarget):
                 and not self.repair.guard.enabled
                 and not self.repair.jobs
                 and self.config.repair.scrub_interval <= 0
-                and think_time >= 0.0)
+                and not self._armed_fault_live())
+        return gate and think_time >= 0.0
 
     def submit_chunk(self, rows: np.ndarray, start: float,
                      think_time: float, deadline: float,

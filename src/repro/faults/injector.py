@@ -13,7 +13,7 @@ introspection working through the wrapper.
 from __future__ import annotations
 
 import random
-from typing import Optional, Set
+from typing import Callable, Optional, Set
 
 from repro.block.device import BlockDevice
 from repro.common.errors import (DeviceFailedError, PowerCutError,
@@ -35,6 +35,11 @@ class FaultInjector(BlockDevice):
                  name: str = "", record_writes: bool = False):
         super().__init__(lower.size, name or f"faulty({lower.name})")
         self.lower = lower
+        # Fired on every plan (re)assignment: fast paths cache "no
+        # armed fault" predicates and must hear about arm/disarm.
+        # In-place mutation of an attached plan is invisible — arm a
+        # live injector by assigning ``injector.plan = new_plan``.
+        self.on_plan_change: Optional[Callable[["FaultInjector"], None]] = None
         self.plan = plan if plan is not None else FaultPlan()
         self._rng = random.Random(self.plan.seed)
         self._failed = False
@@ -47,6 +52,20 @@ class FaultInjector(BlockDevice):
         for offset, length in self.plan.corruption:
             self.inject_corruption(offset, length)
             self.injected["corruption"] += 1
+
+    # ------------------------------------------------------------------
+    # plan attachment (assignment notifies cached fast-path gates)
+    # ------------------------------------------------------------------
+    @property
+    def plan(self) -> FaultPlan:
+        return self._plan
+
+    @plan.setter
+    def plan(self, value: FaultPlan) -> None:
+        self._plan = value
+        callback = getattr(self, "on_plan_change", None)
+        if callback is not None:
+            callback(self)
 
     # ------------------------------------------------------------------
     # fail-stop surface (mirrors SSDDevice so callers can't tell)
@@ -121,9 +140,13 @@ class FaultInjector(BlockDevice):
             probability = plan.transient_probability(now)
             if probability > 0.0 and self._rng.random() < probability:
                 self._emit("transient", now, req.op.name)
+                # The failure is observed after the device's report
+                # latency, stretched like any completion while limping.
+                detect = plan.transient_detect_latency(now)
                 raise TransientIOError(
                     f"{self.name}: transient {req.op.name} error "
-                    f"at t={now:.6f}")
+                    f"at t={now:.6f}",
+                    at=now + detect * plan.slowdown(now))
         done = self.lower.submit(req, now)
         if self.written_pages is not None and req.op is Op.WRITE:
             self.written_pages.update(req.pages())

@@ -29,11 +29,18 @@ from typing import List, Optional, Tuple
 
 @dataclass(frozen=True)
 class TransientWindow:
-    """Requests between ``start`` and ``end`` fail with probability p."""
+    """Requests between ``start`` and ``end`` fail with probability p.
+
+    ``detect_s`` models how long the device takes to *report* the
+    failure (a command timeout, a link reset): the error is observed
+    ``detect_s`` simulated seconds after issue, and deadline-aware
+    retry loops charge that time against their budget.
+    """
 
     start: float
     end: float
     probability: float
+    detect_s: float = 0.0
 
     def active(self, now: float) -> bool:
         return self.start <= now < self.end
@@ -79,11 +86,15 @@ class FaultPlan:
         return self
 
     def transient_window(self, start: float, end: float,
-                         probability: float) -> "FaultPlan":
+                         probability: float,
+                         detect_s: float = 0.0) -> "FaultPlan":
         if not 0.0 < probability <= 1.0:
             raise ValueError(
                 f"transient probability must be in (0,1], got {probability}")
-        self.transient.append(TransientWindow(start, end, probability))
+        if detect_s < 0.0:
+            raise ValueError(f"detect_s must be >= 0, got {detect_s}")
+        self.transient.append(
+            TransientWindow(start, end, probability, detect_s))
         return self
 
     def limp_window(self, start: float, end: float,
@@ -98,6 +109,21 @@ class FaultPlan:
         return self
 
     # Queries ------------------------------------------------------------
+    @property
+    def armed(self) -> bool:
+        """True while any fault is scheduled (the plan can still fire).
+
+        Batched fast paths consult this through the injector: a chunk
+        run must decline (fall back to the scalar oracle) while any
+        member's plan could inject, because the vectorized window
+        cannot observe a mid-chunk fault.
+        """
+        return (self.fail_at is not None
+                or self.power_cut_at is not None
+                or self.power_cut_after_writes is not None
+                or bool(self.transient)
+                or bool(self.limps))
+
     def transient_probability(self, now: float) -> float:
         """Combined failure probability of the windows active at ``now``."""
         p_ok = 1.0
@@ -113,3 +139,15 @@ class FaultPlan:
             if window.active(now):
                 factor = max(factor, window.slowdown)
         return factor
+
+    def transient_detect_latency(self, now: float) -> float:
+        """Failure-report latency of the windows active at ``now``.
+
+        Windows combine as ``max`` (the slowest reporter dominates,
+        like :meth:`slowdown`).
+        """
+        detect = 0.0
+        for window in self.transient:
+            if window.active(now):
+                detect = max(detect, window.detect_s)
+        return detect

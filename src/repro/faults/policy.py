@@ -11,6 +11,14 @@ that keeps erroring is a dead drive" escalation.
 Backoff advances *simulated* time: each retry reissues the request
 ``delay`` seconds later, so retried I/O correctly lands behind other
 traffic on the device timelines.
+
+The budget is a *deadline*, not a per-attempt allowance: every second
+of simulated time that elapses inside a failed attempt (a drive that
+takes milliseconds to report a command timeout — the error's ``at``
+field) is charged against it, exactly like the backoff delays.  A slow
+failer therefore exhausts the budget in fewer attempts than a fast
+one, and the ``TimeoutExpired`` event reports the cumulative wait from
+first issue to last failure observation.
 """
 
 from __future__ import annotations
@@ -58,6 +66,12 @@ def submit_with_retry(device: BlockDevice, req: Request, now: float,
     ``policy.max_attempts`` tries were spent or the next retry would
     start past ``now + policy.timeout``; other exceptions (fail-stop,
     power cut, address errors) propagate untouched on the first raise.
+
+    Deadline-aware: simulated time that elapsed *inside* a failed
+    attempt (the error's observation time, ``TransientIOError.at``) is
+    charged against the budget along with the backoff delays, so the
+    give-up decision and the ``TimeoutExpired`` event's cumulative
+    ``waited`` both reflect real elapsed simulated time.
     """
     deadline = now + policy.timeout
     delay = policy.backoff
@@ -68,18 +82,23 @@ def submit_with_retry(device: BlockDevice, req: Request, now: float,
         except TransientIOError as exc:
             if on_retry is not None:
                 on_retry(attempt)
-            next_issue = issue_at + delay
+            # When the failure was observed after issue (a slow error
+            # report), the elapsed time counts against the deadline.
+            observed_at = getattr(exc, "at", None)
+            failed_at = (issue_at if observed_at is None
+                         else max(issue_at, observed_at))
+            next_issue = failed_at + delay
             if attempt >= policy.max_attempts or next_issue > deadline:
                 if obs.enabled:
                     obs.emit(TimeoutExpired(
-                        t=issue_at, device=device.name, attempts=attempt,
-                        waited=issue_at - now))
+                        t=failed_at, device=device.name, attempts=attempt,
+                        waited=failed_at - now))
                 raise RequestTimeoutError(
                     f"{device.name}: {req.op.name} gave up after "
-                    f"{attempt} attempts ({issue_at - now:.6f}s of "
+                    f"{attempt} attempts ({failed_at - now:.6f}s of "
                     f"{policy.timeout:.6f}s budget)") from exc
             if obs.enabled:
-                obs.emit(RetryAttempt(t=issue_at, device=device.name,
+                obs.emit(RetryAttempt(t=failed_at, device=device.name,
                                       attempt=attempt, op=req.op.name,
                                       delay=delay))
             issue_at = next_issue

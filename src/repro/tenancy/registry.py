@@ -36,6 +36,7 @@ from typing import Dict, List, Optional
 from repro.common.errors import ConfigError
 from repro.common.types import IoOrigin, IoStats, LatencyStats, Op, Request
 from repro.common.units import PAGE_SIZE
+from repro.core.arrays import B_CLEAN, B_DIRTY, B_MAPPED
 from repro.obs.events import AdmissionRejected
 from repro.tenancy.qos import QosSpec
 from repro.tenancy.volume import Volume
@@ -123,8 +124,15 @@ class TenantRegistry:
         self._ends: List[int] = []
         self._owners: List[_Tenant] = []
         self._alloc_cursor = 0          # next free origin block
-        self._total_occupancy = 0
         self._total_unmet_reserve = 0   # Σ max(0, min_t - occ_t)
+        # Adopt blocks already resident at attach time: a registry
+        # attached to a *recovered* cache (post power cut) must account
+        # the survivors exactly, not start from zero.  Per-tenant
+        # occupancy is seeded as volumes are recreated
+        # (:meth:`create_volume` counts residents in each window).
+        self._total_occupancy = (cache.mapping.valid_blocks()
+                                 + len(cache.dirty_buf)
+                                 + len(cache.clean_buf))
         # Wire in: the cache consults us on admission/destage, and the
         # mapping/buffers report membership changes.
         cache.tenants = self
@@ -183,7 +191,25 @@ class TenantRegistry:
         self._ends.append(base + blocks)
         self._owners.append(t)
         t.volumes.append(volume)
+        resident = self._resident_in(base, base + blocks)
+        if resident:
+            # Post-recovery attach: blocks of this window already in
+            # the cache belong to the tenant from block one.
+            unmet_before = max(0, t.min_blocks - t.occupancy)
+            t.occupancy += resident
+            self._total_unmet_reserve += (
+                max(0, t.min_blocks - t.occupancy) - unmet_before)
         return volume
+
+    def _resident_in(self, lo: int, hi: int) -> int:
+        """Blocks of ``[lo, hi)`` currently cached (one residency scan)."""
+        codes = self.cache._state.a
+        hi = min(hi, codes.shape[0])
+        if lo >= hi:
+            return 0
+        window = codes[lo:hi]
+        return int(((window == B_MAPPED) | (window == B_DIRTY)
+                    | (window == B_CLEAN)).sum())
 
     def tenant_of(self, block: int) -> Optional[str]:
         """Owning tenant of an origin block, or None if unallocated."""
@@ -375,3 +401,8 @@ class TenantRegistry:
         unmet = sum(max(0, t.min_blocks - t.occupancy)
                     for t in self._tenants.values())
         assert unmet == self._total_unmet_reserve, "unmet reserve drifted"
+        total_truth = (cache.mapping.valid_blocks()
+                       + len(cache.dirty_buf) + len(cache.clean_buf))
+        assert self._total_occupancy == total_truth, (
+            f"total occupancy {self._total_occupancy} != "
+            f"resident truth {total_truth}")

@@ -26,6 +26,7 @@ from repro.common.chunks import (NO_TENANT, OP_READ, OP_TRIM, OP_WRITE,
 from repro.common.types import Op, Request
 from repro.common.units import KIB, MIB, PAGE_SIZE
 from repro.core.src import SrcCache
+from repro.faults import FaultInjector, FaultPlan
 from repro.hdd.backend import PrimaryStorage
 from repro.sim.engine import run_chunk_streams
 from repro.ssd.device import SSDDevice
@@ -509,3 +510,118 @@ def test_bench_scenarios_never_materialize_request_lists():
     ]
     assert len(seen) == 6
     assert all(row["scenario"] for row in rows)
+
+
+# ----------------------------------------------------------------------
+# fault differentials (armed plans close the chunk gate; the engine's
+# scalar fallback must remain bit-identical to the scalar loop)
+# ----------------------------------------------------------------------
+def _make_injected_src(plans=None):
+    """A TINY_SRC cache whose members are FaultInjector-wrapped SSDs."""
+    plans = plans or {}
+    ssds = [FaultInjector(SSDDevice(TINY_SSD, name=f"tiny{i}"),
+                          plans.get(i))
+            for i in range(TINY_SRC.n_ssds)]
+    backend = PrimaryStorage(n_disks=4, disk_spec=TINY_DISK)
+    return SrcCache(ssds, backend, TINY_SRC)
+
+
+def test_fault_plan_activation_flips_chunk_gate_mid_run():
+    """Arming a member's plan by assignment must invalidate the cached
+    fast-path verdict immediately — no request traffic in between."""
+    src = _make_injected_src()
+    assert src._chunk_fast_ok(0.0)
+    rows = make_chunk([0, PAGE_SIZE], PAGE_SIZE)
+
+    _, _, n = src.submit_chunk(rows, 0.0, 0.0, float("inf"), 0)
+    assert n == 2
+
+    src.ssds[0].plan = FaultPlan(seed=7).limp_window(0.0, 1e9, 4.0)
+    assert not src._chunk_fast_ok(0.0)
+    _, _, n = src.submit_chunk(rows, 1.0, 0.0, float("inf"), 0)
+    assert n == 0                      # declined -> engine goes scalar
+
+    src.ssds[0].disarm()
+    assert src._chunk_fast_ok(0.0)
+    _, _, n = src.submit_chunk(rows, 2.0, 0.0, float("inf"), 0)
+    assert n == 2
+
+
+def _fault_differential(plan_factories, seed, max_requests=6000):
+    """Scalar vs batched over identically-faulted fresh stacks."""
+    span = 2 * TINY_SRC.cache_space
+    results = {}
+    targets = {}
+    for batched in (False, True):
+        target = _make_injected_src(
+            {i: make() for i, make in plan_factories.items()})
+        sources = [mixed_chunks(span, 0.5, seed=seed)]
+        results[batched] = _run(target, sources, batched,
+                                max_requests=max_requests)
+        targets[batched] = target
+    assert results[True].as_dict() == results[False].as_dict()
+    _assert_src_state_equal(targets[False], targets[True])
+    for x, y in zip(targets[False].ssds, targets[True].ssds):
+        assert x.injected == y.injected
+    return results[False], targets[False]
+
+
+def test_fail_stop_plan_bit_identical():
+    """A member dying mid-run degrades the array identically in both
+    paths (reads reconstruct, RAID-5, no spare to attach)."""
+    _, src = _fault_differential(
+        {1: lambda: FaultPlan(seed=3).fail_stop(2e-3)}, seed=41)
+    assert src.ssds[1].injected["fail-stop"] > 0
+    assert src.repair.missing_members() == 1
+    assert not src.bypass
+
+
+def test_fail_slow_plan_bit_identical():
+    """A limping member stretches completions identically."""
+    _, src = _fault_differential(
+        {0: lambda: FaultPlan(seed=3).limp_window(0.0, 1e9, 6.0)},
+        seed=42)
+    assert src.ssds[0].injected["limp"] > 0
+
+
+def test_transient_window_plan_bit_identical():
+    """Seeded transient errors draw from the same RNG sequence in both
+    paths (the gate declines, so the same requests hit the injector in
+    the same order) — retries and give-ups must match exactly."""
+    _, src = _fault_differential(
+        {2: lambda: FaultPlan(seed=9).transient_window(0.0, 1e9, 0.2)},
+        seed=43)
+    assert src.ssds[2].injected["transient"] > 0
+    assert src.srcstats.retries > 0
+
+
+def test_mid_run_arming_switches_batched_to_scalar_fallback():
+    """A plan armed partway through the stream flips the gate between
+    chunks: the vectorized prefix and the scalar-fallback suffix must
+    still compose to a bit-identical run."""
+    span = 2 * TINY_SRC.cache_space
+
+    def arming_chunks(cache, seed, arm_after):
+        rng = np.random.default_rng(seed)
+        slots = span // PAGE_SIZE
+        n = 0
+        while True:
+            offsets = rng.integers(0, slots, size=512) * PAGE_SIZE
+            yield make_chunk(offsets, PAGE_SIZE)
+            n += 1
+            if n == arm_after:
+                cache.ssds[0].plan = (
+                    FaultPlan(seed=5).limp_window(0.0, 1e9, 3.0))
+
+    results = {}
+    targets = {}
+    for batched in (False, True):
+        target = _make_injected_src()
+        sources = [arming_chunks(target, seed=44, arm_after=4)]
+        results[batched] = _run(target, sources, batched,
+                                max_requests=6000)
+        targets[batched] = target
+    assert results[True].as_dict() == results[False].as_dict()
+    _assert_src_state_equal(targets[False], targets[True])
+    assert targets[True].ssds[0].injected["limp"] > 0
+    assert not targets[True]._chunk_fast_ok(0.0)
