@@ -18,6 +18,10 @@ Scenarios
 * ``src/randwrite4k`` — the full SRC stack (4 SSDs + origin) under
   4 KiB uniform-random writes, catching cache-layer and FTL
   regressions the raw-engine scenarios miss;
+* ``src/randwrite4k-obs`` — the same stack with a live
+  :class:`~repro.obs.recorder.ObsRecorder` attached, gating the
+  telemetry bulk paths (the batched loop must keep its vector window
+  with obs on, not decline to the scalar oracle);
 * ``replay/msr-write`` — an MSR-style trace-replay segment (the Table
   6 "write" group) against the SRC stack: the trace-parsing + replay +
   cache path the paper's sweeps actually exercise;
@@ -55,6 +59,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.common.units import KIB                      # noqa: E402
 from repro.harness.context import build_cluster, build_src  # noqa: E402
+from repro.obs.recorder import ObsRecorder, use         # noqa: E402
 from repro.sim.engine import run_chunk_streams, run_streams  # noqa: E402
 from repro.ssd.device import SSDDevice, precondition    # noqa: E402
 from repro.ssd.spec import SATA_MLC_128                 # noqa: E402
@@ -80,6 +85,18 @@ def _build_ssd(seed: int) -> SSDDevice:
     ssd = SSDDevice(SATA_MLC_128.scaled(SCALE))
     precondition(ssd, fill_fraction=FILL)
     return ssd
+
+
+def _best_of(times: int, scenario, *args, **kwargs) -> dict:
+    """Run ``scenario`` ``times`` times, keep the fastest row.
+
+    The speedup-gated pairs ride on ~0.2 s wall measurements, which on
+    a shared host can swing ±30% run to run; best-of-N converges both
+    sides of a ratio toward the machine's warm capability so the gate
+    tests the code, not the scheduler.  Classic min-wall benchmarking.
+    """
+    rows = [scenario(*args, **kwargs) for _ in range(times)]
+    return max(rows, key=lambda r: r["reqs_per_sec"] or 0)
 
 
 def _result_row(name: str, extra: dict, completed: int, wall: float,
@@ -153,6 +170,26 @@ def _scenario_src(name: str, requests: int, seed: int,
                        result.completed_ops, wall, result.elapsed)
 
 
+def _scenario_src_obs(name: str, requests: int, seed: int,
+                      batched: bool = False) -> dict:
+    """``src/randwrite4k`` with a live :class:`ObsRecorder` attached.
+
+    Gates the telemetry bulk paths: with obs enabled the batched loop
+    must stay on the vector window (histogram ``record_many``, chunked
+    ``observe_io_chunk``) instead of declining to the scalar oracle,
+    and the recorded telemetry is differential-tested to be
+    bit-identical between the modes.
+    """
+    recorder = ObsRecorder()
+    with use(recorder):
+        src = build_src(SCALE)
+    span = min(src.size, 4 * src.config.cache_space)
+    result, wall = _run_target(src, span, requests, seed, batched)
+    return _result_row(name, {"stack": "src", "obs": True,
+                              "batched": batched},
+                       result.completed_ops, wall, result.elapsed)
+
+
 def _scenario_cluster(name: str, requests: int, seed: int,
                       batched: bool = False) -> dict:
     """Router overhead: random writes through a 2-shard cluster.
@@ -195,31 +232,38 @@ def main(argv=None) -> int:
                         default=Path("BENCH_engine.json"))
     args = parser.parse_args(argv)
 
+    # Every row runs best-of-2 (see _best_of): the absolute gate then
+    # compares warm-machine numbers against warm-machine numbers, and
+    # the speedup floors divide two measurements that both saw the
+    # machine at its best.  Canonical stack rows measure the batched
+    # chunk path; the -scalar companions gate the per-request oracle
+    # loop.  The batched randwrite runs get more requests so their
+    # (much shorter) wall time stays measurable.
     scenarios = [
-        _scenario_engine("float/depth1", args.requests, 1, False,
-                         args.seed),
-        _scenario_engine("float/depth32", args.requests, 32, False,
-                         args.seed),
-        _scenario_engine("submission/depth1", args.requests, 1, True,
-                         args.seed),
-        _scenario_engine("submission/depth32", args.requests, 32, True,
-                         args.seed),
-        # Canonical stack rows measure the batched chunk path; the
-        # -scalar companions gate the per-request oracle loop.  The
-        # batched randwrite run gets more requests so its (much
-        # shorter) wall time stays measurable.
-        _scenario_src("src/randwrite4k", args.requests * 2, args.seed,
-                      batched=True),
-        _scenario_src("src/randwrite4k-scalar", args.requests // 2,
-                      args.seed),
-        _scenario_replay("replay/msr-write", args.requests // 2,
-                         args.seed, batched=True),
-        _scenario_replay("replay/msr-write-scalar", args.requests // 2,
-                         args.seed),
-        _scenario_cluster("cluster/passthrough", args.requests // 2,
-                          args.seed, batched=True),
-        _scenario_cluster("cluster/passthrough-scalar",
-                          args.requests // 2, args.seed),
+        _best_of(2, _scenario_engine, "float/depth1", args.requests, 1,
+                 False, args.seed),
+        _best_of(2, _scenario_engine, "float/depth32", args.requests,
+                 32, False, args.seed),
+        _best_of(2, _scenario_engine, "submission/depth1",
+                 args.requests, 1, True, args.seed),
+        _best_of(2, _scenario_engine, "submission/depth32",
+                 args.requests, 32, True, args.seed),
+        _best_of(2, _scenario_src, "src/randwrite4k", args.requests * 2,
+                 args.seed, batched=True),
+        _best_of(2, _scenario_src, "src/randwrite4k-scalar",
+                 args.requests // 2, args.seed),
+        _best_of(2, _scenario_src_obs, "src/randwrite4k-obs",
+                 args.requests * 2, args.seed, batched=True),
+        _best_of(2, _scenario_src_obs, "src/randwrite4k-obs-scalar",
+                 args.requests // 2, args.seed),
+        _best_of(2, _scenario_replay, "replay/msr-write",
+                 args.requests // 2, args.seed, batched=True),
+        _best_of(2, _scenario_replay, "replay/msr-write-scalar",
+                 args.requests // 2, args.seed),
+        _best_of(2, _scenario_cluster, "cluster/passthrough",
+                 args.requests // 2, args.seed, batched=True),
+        _best_of(2, _scenario_cluster, "cluster/passthrough-scalar",
+                 args.requests // 2, args.seed),
     ]
     headline = min(s["reqs_per_sec"] for s in scenarios)
     payload = {

@@ -53,13 +53,14 @@ def main(argv=None) -> int:
                         default=None,
                         help="minimum batched/scalar reqs/s ratio for "
                              "scenario NAME (whose oracle is "
-                             "NAME-scalar); repeatable; default "
-                             "src/randwrite4k=2.5")
+                             "NAME-scalar); repeatable; defaults "
+                             "src/randwrite4k=5.0 and "
+                             "src/randwrite4k-obs=2.0")
     args = parser.parse_args(argv)
     speedup_floors = {}
     for spec in (args.min_speedup
                  if args.min_speedup is not None
-                 else ["src/randwrite4k=2.5"]):
+                 else ["src/randwrite4k=5.0", "src/randwrite4k-obs=2.0"]):
         name, _, floor = spec.partition("=")
         try:
             speedup_floors[name] = float(floor)

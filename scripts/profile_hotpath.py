@@ -31,19 +31,22 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.common.chunks import DEFAULT_CHUNK_REQUESTS  # noqa: E402
 from repro.common.units import KIB                      # noqa: E402
 from repro.harness.context import build_src             # noqa: E402
-from repro.sim.engine import run_streams                # noqa: E402
+from repro.obs.recorder import ObsRecorder, use         # noqa: E402
+from repro.sim.engine import run_chunk_streams, run_streams  # noqa: E402
 from repro.ssd.device import SSDDevice, precondition    # noqa: E402
 from repro.ssd.spec import SATA_MLC_128                 # noqa: E402
-from repro.workloads.fio import uniform_random          # noqa: E402
+from repro.workloads.fio import (uniform_random,        # noqa: E402
+                                 uniform_random_chunks)
 from repro.workloads.replay import replay_group         # noqa: E402
 
 SCALE = 1 / 32
 FILL = 0.90
 
 
-def workload_engine(requests: int, seed: int) -> None:
+def workload_engine(requests: int, seed: int, chunk_requests: int) -> None:
     """Single-SSD 4 KiB random writes — the raw engine/FTL path."""
     ssd = SSDDevice(SATA_MLC_128.scaled(SCALE))
     precondition(ssd, fill_fraction=FILL)
@@ -53,8 +56,8 @@ def workload_engine(requests: int, seed: int) -> None:
                 duration=float("inf"), max_requests=requests)
 
 
-def workload_src(requests: int, seed: int) -> None:
-    """Full SRC stack under 4 KiB random writes."""
+def workload_src(requests: int, seed: int, chunk_requests: int) -> None:
+    """Full SRC stack under 4 KiB random writes (scalar oracle loop)."""
     src = build_src(SCALE)
     span = min(src.size, 4 * src.config.cache_space)
     stream = uniform_random(span, request_size=4 * KIB, seed=seed)
@@ -62,17 +65,51 @@ def workload_src(requests: int, seed: int) -> None:
                 duration=float("inf"), max_requests=requests)
 
 
-def workload_replay(requests: int, seed: int) -> None:
+def _src_batched(requests: int, seed: int, chunk_requests: int) -> None:
+    src = build_src(SCALE)
+    span = min(src.size, 4 * src.config.cache_space)
+    stream = uniform_random_chunks(span, request_size=4 * KIB, seed=seed,
+                                   chunk_requests=chunk_requests)
+    run_chunk_streams(lambda req, now: src.submit(req, now), [stream],
+                      duration=float("inf"), max_requests=requests,
+                      issue_chunk=src.submit_chunk)
+
+
+def workload_src_batched(requests: int, seed: int,
+                         chunk_requests: int) -> None:
+    """SRC stack through the chunked loop — the ``submit_chunk`` path."""
+    _src_batched(requests, seed, chunk_requests)
+
+
+def workload_src_obs_batched(requests: int, seed: int,
+                             chunk_requests: int) -> None:
+    """Chunked SRC run with telemetry attached (obs bulk paths)."""
+    with use(ObsRecorder()):
+        _src_batched(requests, seed, chunk_requests)
+
+
+def workload_replay(requests: int, seed: int, chunk_requests: int) -> None:
     """MSR-style trace replay against the SRC stack."""
     src = build_src(SCALE)
     replay_group(src, "write", scale=SCALE, duration=float("inf"),
                  seed=seed, max_requests=requests)
 
 
+def workload_replay_batched(requests: int, seed: int,
+                            chunk_requests: int) -> None:
+    """Chunked MSR replay — columnar generation + ``submit_chunk``."""
+    src = build_src(SCALE)
+    replay_group(src, "write", scale=SCALE, duration=float("inf"),
+                 seed=seed, max_requests=requests, batched=True)
+
+
 SCENARIOS = {
     "engine": workload_engine,
     "src": workload_src,
+    "src-batched": workload_src_batched,
+    "src-obs-batched": workload_src_obs_batched,
     "replay": workload_replay,
+    "replay-batched": workload_replay_batched,
 }
 
 
@@ -82,6 +119,13 @@ def main(argv=None) -> int:
                         default="engine")
     parser.add_argument("--requests", type=int, default=20000)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--chunk-requests", type=int,
+                        default=DEFAULT_CHUNK_REQUESTS,
+                        help="rows per generated chunk in the batched "
+                             "scenarios (default "
+                             f"{DEFAULT_CHUNK_REQUESTS}); smaller "
+                             "chunks stress the per-call dispatch, "
+                             "larger ones the vector window")
     parser.add_argument("--sort", choices=("cumulative", "tottime"),
                         default="cumulative")
     parser.add_argument("--limit", type=int, default=25,
@@ -104,14 +148,14 @@ def main(argv=None) -> int:
         else:
             profiler = Profiler()
             profiler.start()
-            workload(args.requests, args.seed)
+            workload(args.requests, args.seed, args.chunk_requests)
             profiler.stop()
             print(profiler.output_text(unicode=True, color=False))
             return 0
 
     profile = cProfile.Profile()
     profile.enable()
-    workload(args.requests, args.seed)
+    workload(args.requests, args.seed, args.chunk_requests)
     profile.disable()
 
     stats = pstats.Stats(profile)

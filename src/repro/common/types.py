@@ -9,7 +9,24 @@ from __future__ import annotations
 
 import enum
 
+import numpy as np
+
 from repro.common.units import PAGE_SIZE
+
+# Chunk-path op/origin codes, bound lazily on first use: chunks.py
+# imports this module, so the names cannot be imported at load time,
+# and re-importing them on every record_chunk call is measurable at
+# trace-replay call rates.
+_CHUNK_CODES = None
+
+
+def _chunk_codes():
+    global _CHUNK_CODES
+    if _CHUNK_CODES is None:
+        from repro.common.chunks import (OP_FLUSH, OP_READ, OP_TRIM,
+                                         OP_WRITE, origin_of)
+        _CHUNK_CODES = (OP_READ, OP_WRITE, OP_FLUSH, OP_TRIM, origin_of)
+    return _CHUNK_CODES
 
 
 class Op(enum.Enum):
@@ -180,9 +197,7 @@ class IoStats:
         updates are identical to calling :meth:`record` once per row —
         the differential tests hold the two paths to byte equality.
         """
-        import numpy as np
-        from repro.common.chunks import (OP_FLUSH, OP_READ, OP_TRIM,
-                                         OP_WRITE, origin_of)
+        OP_READ, OP_WRITE, OP_FLUSH, OP_TRIM, origin_of = _chunk_codes()
         ops = np.asarray(ops)
         lengths = np.asarray(lengths)
         if ops.shape[0] < 32:
@@ -301,7 +316,6 @@ def _tuple2_hash_array(a, b):
     what lets the latency reservoir's hash-slotted replacement vectorize
     while staying bit-identical to the scalar loop.
     """
-    import numpy as np
     mersenne = np.uint64((1 << 61) - 1)
     p1 = np.uint64(11400714785074694791)
     p2 = np.uint64(14029467366897019727)
@@ -361,7 +375,6 @@ class LatencyStats:
         ``hash((count, round(latency * 1e9)))``.  Replacements apply in
         row order so duplicate slots keep last-writer-wins.
         """
-        import numpy as np
         lats = np.asarray(latencies, dtype=np.float64)
         n = lats.shape[0]
         if n == 0:

@@ -59,6 +59,14 @@ class HotnessBitmap:
         hot = self._hot
         return bool(hot[lba]) if lba < hot.shape[0] else False
 
+    def is_hot_many(self, lbas: np.ndarray) -> np.ndarray:
+        """Vector :meth:`is_hot` — bounds-checked bit gather."""
+        hot = self._hot
+        out = np.zeros(lbas.shape[0], dtype=bool)
+        inside = lbas < hot.shape[0]
+        out[inside] = hot[lbas[inside]]
+        return out
+
     def clear(self, lba: int) -> None:
         """Consume the block's second chance (on GC consideration)."""
         self._discard(lba)

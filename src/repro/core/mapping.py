@@ -259,6 +259,28 @@ class MappingTable:
         return [(lba, self._entry_at(lba))
                 for lba in self._sg_live_lbas(sg).tolist()]
 
+    def sg_blocks_arrays(self, sg: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Live LBAs of ``sg`` (insertion order) plus their dirty bits.
+
+        Batch-path counterpart of :meth:`sg_blocks`: returns the LBA
+        array and a dirty-bit gather instead of materialized entries,
+        so reclaim can classify a whole victim with vector ops.
+        """
+        lbas = self._sg_live_lbas(sg)
+        return lbas, self._dirty[lbas].copy()
+
+    def locations_arrays(self, lbas: np.ndarray) -> Tuple[np.ndarray,
+                                                          np.ndarray,
+                                                          np.ndarray,
+                                                          np.ndarray]:
+        """``(ssd, offset, checksum, version)`` column gathers.
+
+        Copies, not views: reclaim invalidates/reinserts the same LBAs
+        while it still holds the gathered locations.
+        """
+        return (self._ssd[lbas].copy(), self._offset[lbas].copy(),
+                self._checksum[lbas].copy(), self._version[lbas].copy())
+
     def items(self) -> List[Tuple[int, CacheEntry]]:
         """Every valid (lba, entry) pair, in no particular order.
 
@@ -270,8 +292,12 @@ class MappingTable:
 
     def drop_sg(self, sg: int) -> None:
         """Forget every mapping in a segment group (post-reclaim)."""
-        for lba in self._sg_live_lbas(sg).tolist():
-            self.invalidate(lba)
+        live = self._sg_live_lbas(sg)
+        if live.shape[0] >= 32 and self.observer is None:
+            self.invalidate_many(live)
+        else:
+            for lba in live.tolist():
+                self.invalidate(lba)
         self._log_n[sg] = 0
 
     # ------------------------------------------------------------------

@@ -49,7 +49,9 @@ from repro.faults.policy import RetryPolicy, submit_with_retry
 from repro.obs.events import (BackpressureStall, BypassEntered, DegradedRead,
                               Destage, DeviceLimping, FlushBarrier, GcEnd,
                               GcStart, RebuildProgress, SegmentSealed)
+from repro.obs.recorder import ObsRecorder
 from repro.repair.controller import RepairController
+from repro.ssd.device import SSDDevice
 
 RAM_LATENCY = 2e-6  # buffer hit / insert latency
 
@@ -220,6 +222,12 @@ class SrcCache(CacheTarget):
         # callbacks below) — so ``submit_chunk`` pays one attribute
         # load per chunk instead of ten predicate checks.
         self._chunk_gate: Optional[bool] = None
+        # Companion gate for the lean segment-seal path: while True,
+        # unit writes and flushes go through the SSDs' inlined
+        # ``submit_write_fast``/``submit_flush_fast`` instead of the
+        # retry/fail-slow wrapper (which those gates prove is inert).
+        # Invalidated at the same sites as the chunk gate.
+        self._seal_fast: Optional[bool] = None
         self.mapping.on_observer_change = self.invalidate_chunk_gate
         self.dirty_buf.on_observer_change = self.invalidate_chunk_gate
         self.clean_buf.on_observer_change = self.invalidate_chunk_gate
@@ -298,6 +306,7 @@ class SrcCache(CacheTarget):
         # is the single choke point the cached chunk gate needs.
         self._obs = recorder
         self._chunk_gate = None
+        self._seal_fast = None
 
     def invalidate_chunk_gate(self) -> None:
         """Force :meth:`_chunk_fast_ok` to re-derive its cached verdict.
@@ -307,6 +316,7 @@ class SrcCache(CacheTarget):
         mutations, bypass entry, tenancy attach, fault-plan arming.
         """
         self._chunk_gate = None
+        self._seal_fast = None
 
     def watch_member_faults(self, device) -> None:
         """Subscribe to ``device``'s fault-plan changes (if injectable).
@@ -322,6 +332,7 @@ class SrcCache(CacheTarget):
 
     def _member_plan_changed(self, _injector) -> None:
         self._chunk_gate = None
+        self._seal_fast = None
 
     def _armed_fault_live(self) -> bool:
         """True while any member (or the origin) has an armed plan."""
@@ -331,6 +342,28 @@ class SrcCache(CacheTarget):
                 return True
         plan = getattr(self.origin, "plan", None)
         return plan is not None and getattr(plan, "armed", False)
+
+    def _seal_fast_ok(self) -> bool:
+        """Whether segment seals may use the lean device submission.
+
+        True only while every side channel of :meth:`_ssd_submit` is
+        provably inert: no fail-slow detectors sampling latencies, no
+        telemetry on SRC or any member, no armed fault plan anywhere
+        (the retry/backoff wrapper only acts on injected errors), and
+        every member is a plain :class:`~repro.ssd.device.SSDDevice`
+        (an injector wrapper or test double must keep the full path).
+        Cached like the chunk gate and invalidated at the same sites.
+        """
+        gate = self._seal_fast
+        if gate is None:
+            gate = self._seal_fast = (
+                self.failslow is None
+                and self.flush_failslow is None
+                and not self.obs.enabled
+                and not self._armed_fault_live()
+                and all(type(s) is SSDDevice and not s.obs.enabled
+                        for s in self.ssds))
+        return gate
 
     # ==================================================================
     # resilient SSD submission (retry/backoff, fail-slow, bypass)
@@ -427,6 +460,7 @@ class SrcCache(CacheTarget):
             return
         self.bypass = True
         self._chunk_gate = None
+        self._seal_fast = None
         lost = self.mapping.dirty_count + len(self.dirty_buf)
         self.srcstats.bypass_lost_dirty += lost
         self.repair.enter_bypass(now)
@@ -813,6 +847,7 @@ class SrcCache(CacheTarget):
                       if with_parity else -1)
         base = self.layout.unit_offset(sg, segment)
         origin = IoOrigin.GC if self._in_gc else IoOrigin.FOREGROUND
+        fast = self._seal_fast_ok()
         end = now
         blocks_left = nblocks
         for idx in data_ssds:
@@ -826,8 +861,13 @@ class SrcCache(CacheTarget):
             if in_unit == per_unit:
                 length = self.layout.unit_blocks * PAGE_SIZE
             if self._alive(idx):
-                done = self._ssd_submit(
-                    idx, Request(Op.WRITE, base, length, origin=origin), now)
+                if fast:
+                    done = self.ssds[idx].submit_write_fast(
+                        base, length, now, origin)
+                else:
+                    done = self._ssd_submit(
+                        idx, Request(Op.WRITE, base, length, origin=origin),
+                        now)
                 if done is not None:
                     end = max(end, done)
         if parity_ssd >= 0 and self._alive(parity_ssd):
@@ -837,18 +877,26 @@ class SrcCache(CacheTarget):
             length = (1 + rows + 1) * PAGE_SIZE
             if rows == per_unit:
                 length = self.layout.unit_blocks * PAGE_SIZE
-            done = self._ssd_submit(
-                parity_ssd, Request(Op.WRITE, base, length, origin=origin),
-                now)
+            if fast:
+                done = self.ssds[parity_ssd].submit_write_fast(
+                    base, length, now, origin)
+            else:
+                done = self._ssd_submit(
+                    parity_ssd,
+                    Request(Op.WRITE, base, length, origin=origin), now)
             if done is not None:
                 end = max(end, done)
         return end
 
     def _flush_ssds(self, now: float) -> float:
         end = now
+        fast = self._seal_fast_ok()
         for idx in range(len(self.ssds)):
             if self._alive(idx):
-                done = self._ssd_submit(idx, Request(Op.FLUSH), now)
+                if fast:
+                    done = self.ssds[idx].submit_flush_fast(now)
+                else:
+                    done = self._ssd_submit(idx, Request(Op.FLUSH), now)
                 if done is not None:
                     end = max(end, done)
         self.srcstats.flush_commands += 1
@@ -981,16 +1029,36 @@ class SrcCache(CacheTarget):
         use_s2s = (not force_s2d
                    and self.config.reclaim.gc_scheme is GcScheme.SEL_GC
                    and self.utilization() <= self.config.reclaim.u_max)
-        blocks = self.mapping.sg_blocks(victim)
+        # Vectorized victim walk: classification, mapping drops and
+        # buffer refills move as index arrays instead of materialized
+        # CacheEntry rows.  Gated on the per-block side channels being
+        # absent (tenant reservations, membership observers) and on the
+        # bulk-read fast path's preconditions (all members alive, no
+        # rebuilding spare whose units would be skipped per-block).
+        vector = (self.tenants is None
+                  and self.mapping.observer is None
+                  and not self.repair.jobs
+                  and self.mapping.sg_valid_count(victim) >= SCALAR_THRESHOLD
+                  and all(self._alive(i) for i in range(len(self.ssds))))
+        if vector:
+            lbas, dirty = self.mapping.sg_blocks_arrays(victim)
+            n_valid = int(lbas.shape[0])
+        else:
+            blocks = self.mapping.sg_blocks(victim)
+            n_valid = len(blocks)
         if self.obs.enabled:
             self.obs.emit(GcStart(t=now, device=self.name, victim=victim,
-                                  valid_pages=len(blocks)))
+                                  valid_pages=n_valid))
         end = now
         if use_s2s:
-            end = self._collect_s2s(victim, blocks, now)
+            end = (self._collect_s2s_arrays(victim, lbas, dirty, now)
+                   if vector else self._collect_s2s(victim, blocks, now))
             self.srcstats.s2s_collections += 1
         else:
-            end = self._collect_s2d(victim, blocks, now, protect=protect)
+            end = (self._collect_s2d_arrays(victim, lbas, dirty, now)
+                   if vector
+                   else self._collect_s2d(victim, blocks, now,
+                                          protect=protect))
             self.srcstats.s2d_collections += 1
         # Everything left in the SG is dead now.
         self.mapping.drop_sg(victim)
@@ -1010,7 +1078,7 @@ class SrcCache(CacheTarget):
             self.srcstats.background_reclaims += 1
         if self.obs.enabled:
             self.obs.emit(GcEnd(t=end, device=self.name, victim=victim,
-                                moved_pages=len(blocks)))
+                                moved_pages=n_valid))
         return end
 
     def _collect_s2d(self, victim: int, blocks, now: float,
@@ -1117,6 +1185,82 @@ class SrcCache(CacheTarget):
                                                now=max(end, read_end)))
         return max(end, read_end)
 
+    def _collect_s2d_arrays(self, victim: int, lbas: np.ndarray,
+                            dirty: np.ndarray, now: float) -> float:
+        """Vector :meth:`_collect_s2d` (single-tenant, no observers).
+
+        Without tenant reservations nothing is protected: dirty blocks
+        destage, clean blocks drop — the per-block walk collapsed into
+        two masked arrays.
+        """
+        end = self._destage_arrays(victim, np.sort(lbas[dirty]), now)
+        clean = lbas[~dirty]
+        self.cstats.evicted_clean_blocks += int(clean.shape[0])
+        self.hotness.evict_many(clean)
+        return end
+
+    def _collect_s2s_arrays(self, victim: int, lbas: np.ndarray,
+                            dirty: np.ndarray, now: float) -> float:
+        """Vector :meth:`_collect_s2s` (single-tenant, no observers).
+
+        Classification is three masks; the copy-forward replays the
+        scalar order exactly — buffer refills land in victim log order
+        (optionally stably clean-first) and a segment seals at the same
+        fill points, so device timelines and metadata sequence numbers
+        cannot diverge from the per-block loop.
+        """
+        if self.config.reclaim.hotness_aware:
+            hot = self.hotness.is_hot_many(lbas)
+            keep = dirty | hot
+            # Hot clean survivors consume their second chance; cold
+            # clean blocks are dropped.  Both are plain bit discards on
+            # disjoint sets, so two batched discards reproduce the
+            # scalar loop's interleaved clear/evict calls.
+            self.hotness.evict_many(lbas[~dirty & hot])
+            dropped = int(np.count_nonzero(~keep))
+            self.cstats.evicted_clean_blocks += dropped
+            self.srcstats.gc_dropped_clean += dropped
+            self.hotness.evict_many(lbas[~keep])
+            copy_lbas = lbas[keep]
+            copy_dirty = dirty[keep]
+        else:
+            copy_lbas = lbas     # ablation: blind copy
+            copy_dirty = dirty
+        end = now
+        read_end = self._bulk_read_arrays(victim, copy_lbas, now,
+                                          IoOrigin.GC)
+        if self.config.reclaim.separate_hot_clean:
+            order = np.argsort(copy_dirty, kind="stable")
+            copy_lbas = copy_lbas[order]
+            copy_dirty = copy_dirty[order]
+        n_copy = int(copy_lbas.shape[0])
+        copied_dirty = bool(copy_dirty.any())
+        if n_copy:
+            # Every copied block leaves its old location before any new
+            # segment seals, and no seal below reads the victim's
+            # mapping state, so the upfront batch drop is equivalent to
+            # the scalar loop's interleaved invalidates.
+            self.mapping.invalidate_many(copy_lbas)
+            self.srcstats.gc_copied_blocks += n_copy
+            starts = np.nonzero(np.concatenate(
+                ([True], copy_dirty[1:] != copy_dirty[:-1])))[0]
+            stops = np.concatenate((starts[1:], [n_copy]))
+            for s, e in zip(starts.tolist(), stops.tolist()):
+                d = bool(copy_dirty[s])
+                buf = self.dirty_buf if d else self.clean_buf
+                pos = s
+                while pos < e:
+                    take = min(buf.capacity - len(buf), e - pos)
+                    buf.add_many(copy_lbas[pos:pos + take])
+                    pos += take
+                    if len(buf) >= buf.capacity:
+                        end = max(end, self._write_segment(dirty=d,
+                                                           now=read_end))
+        if copied_dirty and not self.dirty_buf.empty:
+            end = max(end, self._write_segment(dirty=True,
+                                               now=max(end, read_end)))
+        return max(end, read_end)
+
     def _destage(self, victim: int, lbas: List[int], now: float) -> float:
         """Write dirty blocks back to the origin, coalescing extents."""
         if not lbas:
@@ -1152,6 +1296,31 @@ class SrcCache(CacheTarget):
                                   blocks=len(lbas)))
         return end
 
+    def _destage_arrays(self, victim: int, lbas: np.ndarray,
+                        now: float) -> float:
+        """Vector :meth:`_destage` (single-tenant): runs via np.diff."""
+        if not lbas.shape[0]:
+            return now
+        read_end = self._bulk_read_arrays(victim, lbas, now,
+                                          IoOrigin.DESTAGE)
+        end = read_end
+        starts = np.nonzero(np.concatenate(([True],
+                                            np.diff(lbas) != 1)))[0]
+        stops = np.concatenate((starts[1:], [lbas.shape[0]]))
+        for s, e in zip(starts.tolist(), stops.tolist()):
+            run_start = int(lbas[s])
+            nblocks = int(lbas[e - 1]) - run_start + 1
+            end = max(end, self.origin.submit(
+                Request(Op.WRITE, run_start * PAGE_SIZE,
+                        nblocks * PAGE_SIZE, origin=IoOrigin.DESTAGE),
+                read_end))
+        n = int(lbas.shape[0])
+        self.srcstats.gc_destaged_blocks += n
+        self.cstats.destaged_blocks += n
+        if self.obs.enabled:
+            self.obs.emit(Destage(t=end, device=self.name, blocks=n))
+        return end
+
     def _bulk_read(self, victim: int, lbas: List[int], now: float,
                    origin: IoOrigin = IoOrigin.GC) -> float:
         """Read a victim SG's valid blocks, merging contiguous spans."""
@@ -1184,6 +1353,36 @@ class SrcCache(CacheTarget):
                     end = max(end, done)
                 if off is not None:
                     run_start = prev = off
+        return end
+
+    def _bulk_read_arrays(self, victim: int, lbas: np.ndarray, now: float,
+                          origin: IoOrigin = IoOrigin.GC) -> float:
+        """Vector :meth:`_bulk_read`: location gather + span merge.
+
+        The caller guarantees every member is alive and no rebuild job
+        is active, so the scalar loop's per-block liveness/unit-ready
+        probes are vacuous.  Each SSD receives the identical coalesced
+        READ sequence at ``now``; cross-device issue order cannot
+        affect any single device's timeline.
+        """
+        if not lbas.shape[0]:
+            return now
+        ssds_col, offs_col, _, _ = self.mapping.locations_arrays(lbas)
+        end = now
+        uniq, first_pos = np.unique(ssds_col, return_index=True)
+        for ssd_idx in uniq[np.argsort(first_pos)].tolist():
+            offsets = np.sort(offs_col[ssds_col == ssd_idx])
+            starts = np.nonzero(np.concatenate(
+                ([True], np.diff(offsets) != PAGE_SIZE)))[0]
+            stops = np.concatenate((starts[1:], [offsets.shape[0]]))
+            for s, e in zip(starts.tolist(), stops.tolist()):
+                run_start = int(offsets[s])
+                length = int(offsets[e - 1]) - run_start + PAGE_SIZE
+                done = self._ssd_submit(
+                    ssd_idx, Request(Op.READ, run_start, length,
+                                     origin=origin), now)
+                if done is not None:
+                    end = max(end, done)
         return end
 
     def _trim_group(self, victim: int, now: float) -> float:
@@ -1289,7 +1488,7 @@ class SrcCache(CacheTarget):
                 and self.mapping.observer is None
                 and self.dirty_buf.observer is None
                 and self.clean_buf.observer is None
-                and not self.obs.enabled
+                and (not self.obs.enabled or type(self._obs) is ObsRecorder)
                 and not self.repair.guard.enabled
                 and not self.repair.jobs
                 and self.config.repair.scrub_interval <= 0
@@ -1321,6 +1520,30 @@ class SrcCache(CacheTarget):
         n_total = rows.shape[0]
         if n_total == 0 or not self._chunk_fast_ok(think_time):
             return _EMPTY_TIMES, _EMPTY_TIMES, 0
+        if deadline - start < SCALAR_THRESHOLD * (RAM_LATENCY + think_time):
+            # Tiny horizon: with many closed-loop streams in lockstep
+            # (trace replay) the next stream's turn is a few service
+            # times away, so at most a handful of rows fit and the
+            # vector window's setup would cost more than it serves.
+            # Serve the plain-row prefix through the scalar oracle with
+            # no vector work at all — bit-identical by the same
+            # argument as the short conformant run below.
+            origins = rows["origin"]
+            tenants = rows["tenant"]
+            lim = min(limit, n_total) if limit else n_total
+            issue_s = np.empty(lim, dtype=np.float64)
+            done_s = np.empty(lim, dtype=np.float64)
+            t = start
+            k = 0
+            while k < lim and t < deadline:
+                if origins[k] != ORIGIN_FG or tenants[k] != NO_TENANT:
+                    break
+                end = self.submit(request_from_row(rows[k]), t)
+                issue_s[k] = t
+                done_s[k] = end
+                t = end + think_time
+                k += 1
+            return issue_s[:k], done_s[:k], k
         offsets = rows["offset"]
         # Conformity scan, bounded: scan a short prefix first and only
         # widen to the full slice if every scanned row conforms — a
@@ -1473,6 +1696,12 @@ class SrcCache(CacheTarget):
                 self.stats.bytes_by_origin[fg_key] = (
                     self.stats.bytes_by_origin.get(fg_key, 0)
                     + k * PAGE_SIZE)
+                if self.obs.enabled:
+                    # The scalar path records each row's latency from
+                    # BlockDevice._lifecycle; the bulk record replays
+                    # the same per-row ``done - issued`` values in row
+                    # order, so the histogram is bit-identical.
+                    self.obs.observe_io_chunk(self, done[:k] - issue[:k])
                 issue_parts.append(issue[:k])
                 done_parts.append(done[:k])
                 done_rows += k
@@ -1480,12 +1709,31 @@ class SrcCache(CacheTarget):
                 t = float(done[k - 1]) + think_time
 
             if bound < n_ok:
-                # Boundary row: full scalar submit — segment sealing
+                # Boundary row: the full write path — segment sealing
                 # (GC, backpressure, faults) or a TWAIT flush hangs off
-                # this write.  t == issue[bound] by construction.
-                row = rows[done_rows]
-                done_b = self.submit(
-                    Request(Op.WRITE, int(row["offset"]), PAGE_SIZE), t)
+                # this write.  t == issue[bound] by construction.  With
+                # telemetry off, the Request object and the _lifecycle
+                # dispatch are skipped: the inlined accounting below is
+                # exactly what they add for a conformant row.
+                block = int(offsets[done_rows]) // PAGE_SIZE
+                if self.obs.enabled:
+                    done_b = self.submit(
+                        Request(Op.WRITE, block * PAGE_SIZE, PAGE_SIZE), t)
+                else:
+                    self.stats.write_ops += 1
+                    self.stats.write_bytes += PAGE_SIZE
+                    self.stats.bytes_by_origin[fg_key] = (
+                        self.stats.bytes_by_origin.get(fg_key, 0)
+                        + PAGE_SIZE)
+                    self._active_tenant = None
+                    try:
+                        done_b = self.write_block(block, t)
+                    except (DeviceFailedError, RaidDegradedError) as exc:
+                        if not self.config.faults.bypass_on_failure:
+                            raise
+                        self._enter_bypass(
+                            t, f"{type(exc).__name__}: {exc}")
+                        done_b = self.write_block(block, t)
                 issue_parts.append(np.array([t]))
                 done_parts.append(np.array([done_b]))
                 done_rows += 1

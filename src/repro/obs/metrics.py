@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterator, Optional, Union
 
+import numpy as np
+
 
 class Counter:
     """Monotonic counter."""
@@ -85,6 +87,39 @@ class Histogram:
         else:
             index = int(math.log2(value / self.FLOOR) * self.SUB_BINS)
         self._bins[index] = self._bins.get(index, 0) + 1
+
+    def record_many(self, values: np.ndarray) -> None:
+        """Bulk :meth:`record`, bit-identical to the scalar loop.
+
+        ``count``/``max``/``min`` are order-insensitive; the float
+        ``total`` is not, so it is rebuilt with a sequential
+        ``np.add.accumulate`` seeded with the current total.  Bin
+        indexes go through the same scalar ``math.log2`` as
+        :meth:`record` — vectorized ``np.log2`` is not guaranteed to
+        round identically on every platform.
+        """
+        n = int(values.shape[0])
+        if n == 0:
+            return
+        self.count += n
+        self.total = float(
+            np.add.accumulate(np.concatenate(([self.total], values)))[-1])
+        vmax = float(values.max())
+        if vmax > self.max:
+            self.max = vmax
+        vmin = float(values.min())
+        if vmin < self.min:
+            self.min = vmin
+        bins = self._bins
+        floor = self.FLOOR
+        sub = self.SUB_BINS
+        log2 = math.log2
+        for value in values.tolist():
+            if value <= floor:
+                index = -1
+            else:
+                index = int(log2(value / floor) * sub)
+            bins[index] = bins.get(index, 0) + 1
 
     @property
     def mean(self) -> float:

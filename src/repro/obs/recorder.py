@@ -42,6 +42,9 @@ class NullRecorder:
     def observe_io(self, device, req, issued: float, done: float) -> None:
         pass
 
+    def observe_io_chunk(self, device, latencies) -> None:
+        pass
+
     def observe_queue(self, device, depth: int, delay: float) -> None:
         pass
 
@@ -73,6 +76,19 @@ class ObsRecorder:
             hist = self.registry.histogram(f"dev.{device.name}.latency_s")
             self._latency[device.name] = hist
         hist.record(done - issued)
+
+    def observe_io_chunk(self, device, latencies) -> None:
+        """Bulk :meth:`observe_io` for one batched chunk window.
+
+        ``latencies`` is the per-row ``done - issued`` array; recording
+        it through :meth:`Histogram.record_many` reproduces the scalar
+        per-request path bit-for-bit.
+        """
+        hist = self._latency.get(device.name)
+        if hist is None:
+            hist = self.registry.histogram(f"dev.{device.name}.latency_s")
+            self._latency[device.name] = hist
+        hist.record_many(latencies)
 
     def observe_queue(self, device, depth: int, delay: float) -> None:
         """Queue-occupancy hook from ``QueuedDevice._retire``.

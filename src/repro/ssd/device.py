@@ -21,10 +21,14 @@ flush-cost findings of Table 3.
 
 from __future__ import annotations
 
+import heapq
 from typing import Set
+
+import numpy as np
 
 from repro.block.device import BlockDevice
 from repro.block.lifecycle import QueuedDevice
+from repro.common.chunks import NO_TENANT, OP_WRITE, ORIGIN_FG
 from repro.common.errors import DeviceFailedError
 from repro.common.types import IoOrigin, Op, Request
 from repro.obs.events import FlushBarrier
@@ -188,6 +192,226 @@ class SSDDevice(QueuedDevice, BlockDevice):
         if self.obs.enabled:
             self.obs.emit(FlushBarrier(t=now, device=self.name))
         return end
+
+    # ------------------------------------------------------------------
+    # lean batched entries (SRC seal path / chunk engine)
+    # ------------------------------------------------------------------
+    def submit_write_fast(self, offset: int, length: int, now: float,
+                          origin: IoOrigin = IoOrigin.FOREGROUND) -> float:
+        """Lean WRITE submission, bit-identical to ``submit``.
+
+        Replays the exact ``_lifecycle`` sequence — stats, queue
+        admission, :meth:`_write`, retire — without allocating a
+        :class:`Request` or dispatching through ``_service``.  Callers
+        (the SRC batched seal path) guarantee obs is off, the range is
+        inside the device and ``fua`` is not needed; everything else,
+        including queue-depth delays and fail-stop, behaves exactly as
+        the generic path.
+        """
+        if self.failed:
+            raise DeviceFailedError(f"{self.name} has failed")
+        stats = self.stats
+        stats.write_ops += 1
+        stats.write_bytes += length
+        by_origin = stats.bytes_by_origin
+        key = origin.value
+        by_origin[key] = by_origin.get(key, 0) + length
+        begin = now
+        depth = self.queue_depth
+        if depth:
+            q = self._inflight
+            while q and q[0] <= now:
+                heapq.heappop(q)
+            while len(q) >= depth:
+                popped = heapq.heappop(q)
+                if popped > begin:
+                    begin = popped
+        page = self.spec.page_size
+        first = offset // page
+        last = (offset + length + page - 1) // page
+        result = self.ftl.write(first, max(1, last - first))
+        if self._corrupted_pages:
+            self.clear_corruption(offset, length)
+        xfer_begin, xfer_end = self.link.transfer(begin, length)
+        _, nand_end = self.nand.acquire(xfer_begin, self._nand_cost(result))
+        nand_end = max(nand_end, xfer_end)
+        done = max(xfer_end, nand_end - self._buffer_slack)
+        if depth:
+            heapq.heappush(self._inflight, done)
+            qs = self.qstats
+            qs.submissions += 1
+            outstanding = len(self._inflight)
+            if outstanding > qs.max_outstanding:
+                qs.max_outstanding = outstanding
+            if begin > now:
+                qs.queued_ops += 1
+                qs.queue_delay_total += begin - now
+        return done
+
+    def submit_flush_fast(self, now: float) -> float:
+        """Lean FLUSH submission; the barrier twin of
+        :meth:`submit_write_fast` (obs off, guaranteed by the caller)."""
+        if self.failed:
+            raise DeviceFailedError(f"{self.name} has failed")
+        self.stats.flush_ops += 1
+        begin = now
+        depth = self.queue_depth
+        if depth:
+            q = self._inflight
+            while q and q[0] <= now:
+                heapq.heappop(q)
+            while len(q) >= depth:
+                popped = heapq.heappop(q)
+                if popped > begin:
+                    begin = popped
+        done = self._flush(begin)
+        if depth:
+            heapq.heappush(self._inflight, done)
+            qs = self.qstats
+            qs.submissions += 1
+            outstanding = len(self._inflight)
+            if outstanding > qs.max_outstanding:
+                qs.max_outstanding = outstanding
+            if begin > now:
+                qs.queued_ops += 1
+                qs.queue_delay_total += begin - now
+        return done
+
+    def submit_chunk(self, rows, start: float, think_time: float,
+                     deadline: float, limit: int):
+        """Vectorized closed-loop window (engine ``issue_chunk`` hook).
+
+        Serves a conformant prefix of ``rows`` — aligned single-page
+        foreground writes, untenanted, in range — in one call and
+        returns ``(issue_times, done_times, n)``.  FTL state advances
+        through :meth:`PageMappedFtl.write_batch` and per-row program
+        times replay the exact ``_write`` recurrence (link pipeline,
+        NAND backlog, buffer slack), so results are bit-identical to
+        per-request submission; any non-conformant head row, armed
+        corruption, observability, or an in-flight queue at window
+        start declines to the scalar path.
+        """
+        if (self.failed or self.obs.enabled or self._corrupted_pages
+                or think_time < 0.0):
+            return None, None, 0
+        depth = self.queue_depth
+        if depth:
+            # Drain completions exactly as admission would; any I/O
+            # still outstanding at window start could delay admission
+            # mid-window, which the closed-loop recurrence below cannot
+            # see — decline and let the scalar path arbitrate.
+            q = self._inflight
+            while q and q[0] <= start:
+                heapq.heappop(q)
+            if q:
+                return None, None, 0
+        n_scan = len(rows)
+        if limit and limit < n_scan:
+            n_scan = limit
+        if n_scan == 0:
+            return None, None, 0
+        page = self.spec.page_size
+        scan = rows[:n_scan]
+        offsets = scan["offset"]
+        conf = ((scan["op"] == OP_WRITE)
+                & (scan["length"] == page)
+                & (scan["origin"] == ORIGIN_FG)
+                & (scan["tenant"] == NO_TENANT)
+                & (offsets >= 0)
+                & (offsets % page == 0)
+                & (offsets + page <= self.size))
+        n_conf = n_scan if conf.all() else int(np.argmin(conf))
+        if n_conf == 0:
+            return None, None, 0
+        lpns = offsets[:n_conf] // page
+        base_cost = page / self.spec.nand_prog_bw
+        read_bw = self.spec.nand_read_bw
+        erase_latency = self.spec.erase_latency
+        ftl_write = None
+        if deadline == float("inf"):
+            # No horizon to respect: the whole prefix will issue, so the
+            # FTL can consume it in one batched call.
+            gc_read, gc_prog, erases = self.ftl.write_batch(lpns)
+            costs = np.full(n_conf, base_cost)
+            hot = np.nonzero(gc_read | gc_prog | erases)[0]
+            for i in hot.tolist():
+                # Scalar float order of _nand_cost, term by term.
+                cost = 1 * page / self.spec.nand_prog_bw
+                cost += int(gc_read[i]) * page / read_bw
+                cost += int(gc_prog[i]) * page / self.spec.nand_prog_bw
+                cost += int(erases[i]) * erase_latency
+                costs[i] = cost
+            costs_list = costs.tolist()
+        else:
+            # A finite deadline can cut the window mid-prefix, and how
+            # far we get depends on per-row times — advance the FTL row
+            # by row so state never runs ahead of issued I/O.
+            ftl_write = self.ftl.write
+            lpns_list = lpns.tolist()
+            costs_list = None
+        link = self.link
+        link_tl = link._timeline
+        link_free = link_tl._free
+        nand_free = self.nand._free
+        link_head = link_free[0]
+        nand_head = nand_free[0]
+        link_busy = link_tl.busy_time
+        nand_busy = self.nand.busy_time
+        link_cost = link.latency + page / link.bandwidth
+        slack = self._buffer_slack
+        nand_cost = self._nand_cost
+        issue_times = []
+        done_times = []
+        issue_append = issue_times.append
+        done_append = done_times.append
+        t = start
+        for i in range(n_conf):
+            if t >= deadline:
+                break
+            if ftl_write is not None:
+                cost = nand_cost(ftl_write(lpns_list[i], 1))
+            else:
+                cost = costs_list[i]
+            xfer_begin = t if t > link_head else link_head
+            xfer_end = xfer_begin + link_cost
+            link_head = xfer_end
+            link_busy += link_cost
+            nand_begin = xfer_begin if xfer_begin > nand_head else nand_head
+            nand_end = nand_begin + cost
+            nand_head = nand_end
+            nand_busy += cost
+            if xfer_end > nand_end:
+                nand_end = xfer_end
+            done = nand_end - slack
+            if xfer_end > done:
+                done = xfer_end
+            issue_append(t)
+            done_append(done)
+            t = done + think_time
+        n = len(issue_times)
+        if n == 0:
+            return None, None, 0
+        if ftl_write is None and n < n_conf:
+            raise AssertionError("batched FTL ran ahead of issued rows")
+        link_free[0] = link_head
+        nand_free[0] = nand_head
+        link_tl.busy_time = link_busy
+        self.nand.busy_time = nand_busy
+        moved = n * page
+        link.bytes_moved += moved
+        stats = self.stats
+        stats.write_ops += n
+        stats.write_bytes += moved
+        by_origin = stats.bytes_by_origin
+        fg = IoOrigin.FOREGROUND.value
+        by_origin[fg] = by_origin.get(fg, 0) + moved
+        if depth:
+            heapq.heappush(self._inflight, done_times[-1])
+            qs = self.qstats
+            qs.submissions += n
+            if qs.max_outstanding < 1:
+                qs.max_outstanding = 1
+        return (np.asarray(issue_times), np.asarray(done_times), n)
 
 
 def precondition(ssd: SSDDevice, fill_fraction: float = 1.0,

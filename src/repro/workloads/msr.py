@@ -158,31 +158,19 @@ class SyntheticTrace:
         self._zipf = ZipfSampler(self.n_blocks, spec.skew_theta,
                                  seed=seed + 1)
 
-    def _request_size(self) -> int:
-        """4 KiB-aligned size whose mean matches the spec's mean.
-
-        Sizes are ``(1 + floor(Exp(theta))) x 4 KiB``; theta is solved
-        so the floored-exponential's mean hits the target exactly
-        (naive rounding would inflate small-request traces by ~30%).
-        """
-        mean_pages = self.spec.mean_request_bytes / PAGE_SIZE
-        if mean_pages <= 1.05:
-            return PAGE_SIZE
-        theta = 1.0 / np.log(1.0 + 1.0 / (mean_pages - 1.0))
-        extra = int(self._rng.exponential(theta))
-        pages = 1 + extra
-        return min(MAX_REQUEST, pages * PAGE_SIZE)
-
     def chunks(self, chunk_requests: int = DEFAULT_CHUNK_REQUESTS
                ) -> Iterator["np.ndarray"]:
         """Endless chunked request stream (the replayer bounds duration).
 
-        The trace state machine draws conditionally — a sequential-run
-        continuation consumes one RNG value where a fresh Zipf pick
-        consumes another generator's — so the columns are built by
-        replaying the exact per-row loop, just without materializing
-        ``Request`` objects.  :meth:`requests` flattens these chunks,
-        so both engine paths replay the identical trace.
+        Randomness is drawn column-wise, one fixed order per chunk —
+        (1) size exponentials, (2) sequential-continuation uniforms,
+        (3) Zipf start candidates, (4) op uniforms — so every row
+        consumes the same draws whether or not it lands in a sequential
+        run; the candidate is simply unused on continuation rows.  Only
+        the sequential-run state machine (next_seq carry, end-of-volume
+        clamps) remains a per-row pass, and it touches no RNG.
+        :meth:`requests` flattens these chunks, so both engine paths
+        replay the identical trace.
         """
         next_seq = -1
         spec = self.spec
@@ -190,30 +178,48 @@ class SyntheticTrace:
         read_ratio = spec.read_ratio
         n_blocks = self.n_blocks
         region_start = self.region_start
-        rng_random = self._rng.random
-        zipf_sample = self._zipf.sample
-        request_size = self._request_size
+        rng = self._rng
+        # Sizes are (1 + floor(Exp(theta))) x 4 KiB; theta is solved so
+        # the floored-exponential's mean hits the spec's mean exactly
+        # (naive rounding would inflate small-request traces by ~30%).
+        mean_pages = spec.mean_request_bytes / PAGE_SIZE
+        max_pages = MAX_REQUEST // PAGE_SIZE
+        if mean_pages > 1.05:
+            theta = 1.0 / np.log(1.0 + 1.0 / (mean_pages - 1.0))
+        else:
+            theta = 0.0
         while True:
             chunk = empty_chunk(chunk_requests)
-            offsets = chunk["offset"]
-            lengths = chunk["length"]
-            ops = chunk["op"]
+            if theta:
+                pages = np.minimum(
+                    max_pages,
+                    1 + rng.exponential(theta, chunk_requests).astype(
+                        np.int64))
+            else:
+                pages = np.ones(chunk_requests, dtype=np.int64)
+            seq_hit = (rng.random(chunk_requests) < seq_prob).tolist()
+            candidates = self._zipf.sample_many(chunk_requests).tolist()
+            op_draws = rng.random(chunk_requests)
+            nblocks = pages.tolist()
+            starts = np.empty(chunk_requests, dtype=np.int64)
             for i in range(chunk_requests):
-                size = request_size()
-                nblocks = size // PAGE_SIZE
-                if next_seq >= 0 and rng_random() < seq_prob:
+                nb = nblocks[i]
+                if next_seq >= 0 and seq_hit[i]:
                     start_block = next_seq  # continue the sequential run
                 else:
-                    start_block = zipf_sample()
-                start_block = min(start_block, n_blocks - nblocks)
-                start_block = max(0, start_block)
-                next_seq = start_block + nblocks
-                if next_seq + nblocks > n_blocks:
+                    start_block = candidates[i]
+                if start_block > n_blocks - nb:
+                    start_block = n_blocks - nb
+                if start_block < 0:
+                    start_block = 0
+                next_seq = start_block + nb
+                if next_seq + nb > n_blocks:
                     next_seq = -1           # run hit the volume end
-                offsets[i] = region_start + start_block * PAGE_SIZE
-                lengths[i] = size
-                ops[i] = (OP_READ if rng_random() < read_ratio
-                          else OP_WRITE)
+                starts[i] = start_block
+            chunk["offset"] = region_start + starts * PAGE_SIZE
+            chunk["length"] = pages * PAGE_SIZE
+            chunk["op"] = np.where(op_draws < read_ratio, OP_READ,
+                                   OP_WRITE)
             chunk["time"] = 0.0
             chunk["origin"] = 0
             chunk["tenant"] = -1

@@ -339,10 +339,13 @@ def test_uniform_vector_rng_matches_scalar_draws():
 @pytest.mark.parametrize("name", ["prxy0", "src21"])
 def test_msr_chunks_replay_the_scalar_state_machine(name):
     """Pin ``SyntheticTrace.chunks`` to an independent reimplementation
-    of the historical per-request generator (sizes, sequential runs,
-    clamping, op draws — same RNG consumption order)."""
+    of the columnar generator: per chunk, the draw order is (1) size
+    exponentials, (2) sequential-continuation uniforms, (3) Zipf start
+    candidates, (4) op uniforms; the sequential-run state machine then
+    resolves each row from the precomputed draws (a continuation row's
+    Zipf candidate is drawn but unused)."""
     spec = TRACES[name]
-    scale, seed, n = 0.002, 9, 6000
+    scale, seed, n, per_chunk = 0.002, 9, 6000, 1024
     trace = SyntheticTrace(spec, region_start=128 * PAGE_SIZE,
                            scale=scale, seed=seed)
     n_blocks = trace.n_blocks
@@ -352,23 +355,31 @@ def test_msr_chunks_replay_the_scalar_state_machine(name):
     theta = 1.0 / np.log(1.0 + 1.0 / (mean_pages - 1.0))
     next_seq = -1
     expected = []
-    for _ in range(n):
-        size = min(MAX_REQUEST,
-                   (1 + int(rng.exponential(theta))) * PAGE_SIZE)
-        nblocks = size // PAGE_SIZE
-        if next_seq >= 0 and rng.random() < spec.seq_prob:
-            start_block = next_seq
-        else:
-            start_block = zipf.sample()
-        start_block = max(0, min(start_block, n_blocks - nblocks))
-        next_seq = start_block + nblocks
-        if next_seq + nblocks > n_blocks:
-            next_seq = -1
-        op = OP_READ if rng.random() < spec.read_ratio else OP_WRITE
-        expected.append((128 * PAGE_SIZE + start_block * PAGE_SIZE,
-                         size, op))
+    while len(expected) < n:
+        sizes = np.minimum(
+            MAX_REQUEST,
+            (1 + rng.exponential(theta, per_chunk).astype(np.int64))
+            * PAGE_SIZE)
+        seq_hits = rng.random(per_chunk) < spec.seq_prob
+        candidates = zipf.sample_many(per_chunk)
+        op_draws = rng.random(per_chunk)
+        for i in range(per_chunk):
+            size = int(sizes[i])
+            nblocks = size // PAGE_SIZE
+            if next_seq >= 0 and seq_hits[i]:
+                start_block = next_seq
+            else:
+                start_block = int(candidates[i])
+            start_block = max(0, min(start_block, n_blocks - nblocks))
+            next_seq = start_block + nblocks
+            if next_seq + nblocks > n_blocks:
+                next_seq = -1
+            op = OP_READ if op_draws[i] < spec.read_ratio else OP_WRITE
+            expected.append((128 * PAGE_SIZE + start_block * PAGE_SIZE,
+                             size, op))
+    expected = expected[:n]
     got = []
-    for chunk in trace.chunks(chunk_requests=1024):
+    for chunk in trace.chunks(chunk_requests=per_chunk):
         for i in range(len(chunk)):
             got.append((int(chunk["offset"][i]), int(chunk["length"][i]),
                         int(chunk["op"][i])))
@@ -504,11 +515,13 @@ def test_bench_scenarios_never_materialize_request_lists():
         bench._scenario_engine("submission/depth32", 10, 32, True, 1),
         bench._scenario_src("src/randwrite4k", 10, 1, batched=True),
         bench._scenario_src("src/randwrite4k-scalar", 10, 1),
+        bench._scenario_src_obs("src/randwrite4k-obs", 10, 1,
+                                batched=True),
         bench._scenario_cluster("cluster/passthrough", 10, 1,
                                 batched=True),
         bench._scenario_replay("replay/msr-write", 10, 1, batched=True),
     ]
-    assert len(seen) == 6
+    assert len(seen) == 7
     assert all(row["scenario"] for row in rows)
 
 

@@ -19,6 +19,7 @@ from repro.core.buffers import SegmentBuffer
 from repro.core.hotness import HotnessBitmap
 from repro.core.layout import BlockLocation
 from repro.core.mapping import CacheEntry, MappingTable
+from repro.obs.recorder import ObsRecorder, attach
 
 from _stacks import make_src
 
@@ -416,6 +417,61 @@ def test_src_submit_chunk_declines_background_origin_head():
 def test_src_submit_chunk_declines_while_observer_attached():
     src = make_src()
     src.mapping.observer = object()    # tenancy-style hook closes the gate
+    rows = make_chunk(np.array([0]), PAGE_SIZE)
+    _, _, n = src.submit_chunk(rows, 0.0, 0.0, float("inf"), 0)
+    assert n == 0
+
+
+@pytest.mark.parametrize("think,n", [(0.0, 12000), (0.005, 2000)])
+def test_src_obs_telemetry_bit_identical_between_modes(think, n):
+    """With a live ObsRecorder the chunk gate stays open (the bulk
+    telemetry paths reproduce the scalar hooks), so the batched run
+    must yield the *identical* telemetry tree: every histogram's
+    count/total/extrema/bins, every event with its timestamp, every
+    gauge — not just the same I/O times."""
+    runs = {}
+    for batched in (False, True):
+        recorder = ObsRecorder()
+        src = attach(make_src(), recorder)
+        assert src._chunk_fast_ok(think), "obs recorder closed the gate"
+        rng = np.random.default_rng(17)
+        span = min(src.size, 4 * src.config.cache_space)
+        offsets = rng.integers(0, span // PAGE_SIZE, size=n) * PAGE_SIZE
+        drive = _run_batched if batched else _run_scalar
+        issue_t, done_t = drive(src, offsets, think)
+        runs[batched] = (recorder, src, issue_t, done_t)
+    rec_s, src_s, i_s, d_s = runs[False]
+    rec_b, src_b, i_b, d_b = runs[True]
+    assert np.array_equal(i_s, i_b)
+    assert np.array_equal(d_s, d_b)
+    _assert_src_state_equal(src_s, src_b)
+    # Full telemetry tree, events included (timestamps and all).
+    assert rec_b.telemetry(include_events=True) == \
+        rec_s.telemetry(include_events=True)
+    assert rec_b.trace.counts() == rec_s.trace.counts()
+    assert len(rec_b.trace) == len(rec_s.trace) > 0
+    # Histogram internals, beyond the as_dict round-trip: the bulk
+    # record_many path must leave bit-exact accumulator state.
+    assert set(rec_b._latency) == set(rec_s._latency)
+    for name, hist_s in rec_s._latency.items():
+        hist_b = rec_b._latency[name]
+        assert hist_b.count == hist_s.count
+        assert hist_b.total == hist_s.total      # np.add.accumulate order
+        assert hist_b.max == hist_s.max
+        assert hist_b.min == hist_s.min
+        assert hist_b._bins == hist_s._bins
+    src_hist = rec_b.device_latency(src_b.name)
+    assert src_hist is not None and src_hist.count == n
+
+
+def test_src_obs_chunk_gate_closes_for_non_obsrecorder():
+    """Only the known-bulk-capable recorder keeps the gate open; any
+    other enabled recorder type falls back to the scalar path."""
+
+    class CustomRecorder(ObsRecorder):
+        pass
+
+    src = attach(make_src(), CustomRecorder())
     rows = make_chunk(np.array([0]), PAGE_SIZE)
     _, _, n = src.submit_chunk(rows, 0.0, 0.0, float("inf"), 0)
     assert n == 0
